@@ -1,0 +1,92 @@
+// Command xrd-server runs an XRD deployment behind a TLS gateway:
+// the mix chains, mailbox cluster and round driver of Figure 1 in one
+// process, serving remote users (xrd-client) over the network.
+//
+// The pinned certificate remote clients need is written to -cert-out
+// (the paper's assumed PKI distributes server identities; the file
+// plays that role here).
+//
+//	xrd-server -addr 127.0.0.1:7900 -servers 20 -k 6 -interval 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7900", "gateway listen address")
+		servers  = flag.Int("servers", 20, "number of mix servers N (chains n = N)")
+		k        = flag.Int("k", 6, "chain length override (0 derives k from -f)")
+		f        = flag.Float64("f", 0.2, "assumed fraction of malicious servers")
+		seed     = flag.String("seed", "public-beacon", "public randomness seed for chain formation")
+		boxes    = flag.Int("mailboxes", 2, "mailbox server count")
+		interval = flag.Duration("interval", 10*time.Second, "round interval (0 = rounds only via client trigger)")
+		certOut  = flag.String("cert-out", "xrd-gateway.pem", "file to write the pinned TLS certificate to")
+	)
+	flag.Parse()
+
+	net, err := core.NewNetwork(core.Config{
+		NumServers:          *servers,
+		ChainLengthOverride: *k,
+		F:                   *f,
+		Seed:                []byte(*seed),
+		MailboxServers:      *boxes,
+	})
+	if err != nil {
+		log.Fatalf("assembling network: %v", err)
+	}
+	gw, err := rpc.NewServer(net, *addr)
+	if err != nil {
+		log.Fatalf("starting gateway: %v", err)
+	}
+	defer gw.Close()
+
+	pem, err := gw.CertificatePEM()
+	if err != nil {
+		log.Fatalf("exporting certificate: %v", err)
+	}
+	if err := os.WriteFile(*certOut, pem, 0o644); err != nil {
+		log.Fatalf("writing certificate: %v", err)
+	}
+
+	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user\n",
+		net.NumChains(), net.Topology().ChainLength, net.Plan().L)
+	fmt.Printf("xrd-server: listening on %s (certificate in %s)\n", gw.Addr(), *certOut)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	if *interval <= 0 {
+		fmt.Println("xrd-server: rounds run on client trigger only")
+		<-stop
+		return
+	}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nxrd-server: shutting down")
+			return
+		case <-ticker.C:
+			rep, err := net.RunRound()
+			if err != nil {
+				log.Printf("round failed: %v", err)
+				continue
+			}
+			fmt.Printf("round %d: delivered=%d halted=%v failed=%v blamed-users=%v covered=%d\n",
+				rep.Round, rep.Delivered, rep.HaltedChains, rep.FailedChains,
+				rep.BlamedUsers, rep.OfflineCovered)
+			net.PruneBefore(rep.Round - 4)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Active attacks against XRD and how aggregate hybrid shuffle (§6)
+// answers them:
+//
+//  1. A malicious server applies the strongest algebraic tamper — a
+//     product-preserving key shift that passes the shuffle
+//     certificate — and is convicted by the blame protocol; the chain
+//     halts with nothing delivered and no privacy lost.
+//  2. A malicious user submits a ciphertext that fails deep inside
+//     the chain; the blame protocol walks the decryption chain,
+//     convicts exactly that user, and the round completes for
+//     everyone else.
+//
+// Run with: go run ./examples/activeattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/aead"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/mix"
+)
+
+func main() {
+	net, err := core.NewNetwork(core.Config{
+		NumServers:          10,
+		ChainLengthOverride: 4,
+		Seed:                []byte("active-attack-demo"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	users := make([]*client.User, 8)
+	for i := range users {
+		users[i] = net.NewUser()
+	}
+
+	fmt.Println("=== attack 1: tampering mix server ===")
+	// The server at position 1 of chain 0 shifts two users' DH keys
+	// in opposite directions: the key product — and therefore its
+	// shuffle certificate — still verifies, but it cannot forge the
+	// downstream AEAD keys, so the next server's decryption fails and
+	// the blame protocol runs.
+	if err := net.CorruptServer(0, 1, &mix.Corruption{TamperPairs: [][2]int{{0, 1}}}); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := net.RunRound()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("halted chains:  %v (only the attacked chain)\n", rep.HaltedChains)
+	fmt.Printf("blamed servers: %v (chain, position)\n", rep.BlamedServers)
+	fmt.Printf("blamed users:   %v (honest users are never convicted)\n", rep.BlamedUsers)
+	fmt.Printf("messages still delivered on healthy chains: %d\n\n", rep.Delivered)
+	if err := net.CorruptServer(0, 1, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== attack 2: malicious user ===")
+	// A user submits an onion whose outer layers authenticate at the
+	// first servers but turn to garbage at layer 2.
+	params, err := net.ChainParams(3, net.Round())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, err := mix.MaliciousSubmission(aead.ChaCha20Poly1305(), params, net.Round(), client.LaneCurrent, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.InjectSubmission(3, bad)
+	rep, err = net.RunRound()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blame protocol executions: %d\n", rep.BlameRounds)
+	fmt.Printf("blamed users:  %v (removed from the network)\n", rep.BlamedUsers)
+	fmt.Printf("halted chains: %v (none — honest traffic unaffected)\n", rep.HaltedChains)
+	fmt.Printf("delivered:     %d of %d honest messages\n",
+		rep.Delivered, len(users)*net.Plan().L)
+}

@@ -1,0 +1,78 @@
+// Quickstart: assemble an in-process XRD network, have Alice and Bob
+// hold a metadata-private conversation for three rounds, and show
+// that an idle bystander's traffic is indistinguishable in volume.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/onion"
+)
+
+func main() {
+	// A small deployment: 12 mix servers organised into 12 chains of
+	// 4 (production would derive k from the malicious fraction f;
+	// see core.Config.F).
+	net, err := core.NewNetwork(core.Config{
+		NumServers:          12,
+		ChainLengthOverride: 4,
+		Seed:                []byte("quickstart-public-beacon"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d chains of %d servers, l=%d chains per user\n\n",
+		net.NumChains(), net.Topology().ChainLength, net.Plan().L)
+
+	alice := net.NewUser()
+	bob := net.NewUser()
+	carol := net.NewUser() // idle bystander
+
+	// Conversations start by out-of-band agreement (§3.1): both sides
+	// set each other as partner for the same round.
+	if err := alice.StartConversation(bob.PublicKey()); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.StartConversation(alice.PublicKey()); err != nil {
+		log.Fatal(err)
+	}
+
+	script := []string{
+		"hey bob — this channel hides that we're talking at all",
+		"every user sends the same l messages either way",
+		"see you at the crossroads",
+	}
+	for round, line := range script {
+		if err := alice.QueueMessage([]byte(line)); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := net.RunRound()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Bob downloads his mailbox and decrypts.
+		recv, bad := bob.OpenMailbox(rep.Round, net.Fetch(bob, rep.Round))
+		if bad != 0 {
+			log.Fatalf("round %d: %d undecryptable messages", rep.Round, bad)
+		}
+		for _, r := range recv {
+			if r.FromPartner && r.Kind == onion.KindConversation {
+				fmt.Printf("round %d | bob reads: %q\n", rep.Round, r.Body)
+			}
+		}
+
+		// The observable pattern is identical for everyone.
+		fmt.Printf("round %d | mailbox sizes: alice=%d bob=%d carol(idle)=%d\n",
+			rep.Round,
+			len(net.Fetch(alice, rep.Round)),
+			len(net.Fetch(bob, rep.Round)),
+			len(net.Fetch(carol, rep.Round)))
+		_ = round
+	}
+	fmt.Println("\nan observer sees every user send and receive exactly l messages per round")
+}

@@ -1,0 +1,140 @@
+// Package chacha20 implements the ChaCha20 stream cipher from
+// RFC 8439.
+//
+// The XRD prototype used NaCl for authenticated encryption, which is
+// built on ChaCha20 and Poly1305 (§7). Because this reproduction is
+// restricted to the standard library, we implement the same primitives
+// from the RFC and validate against its test vectors.
+package chacha20
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+const (
+	// KeySize is the ChaCha20 key length in bytes.
+	KeySize = 32
+	// NonceSize is the ChaCha20 nonce length in bytes (96-bit IETF
+	// variant).
+	NonceSize = 12
+	// BlockSize is the keystream block length in bytes.
+	BlockSize = 64
+)
+
+// ErrKeySize is returned for keys or nonces of the wrong length.
+var ErrKeySize = errors.New("chacha20: wrong key or nonce length")
+
+// sigma is the "expand 32-byte k" constant.
+var sigma = [4]uint32{0x61707865, 0x3320646e, 0x79622d32, 0x6b206574}
+
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d = bits.RotateLeft32(d^a, 16)
+	c += d
+	b = bits.RotateLeft32(b^c, 12)
+	a += b
+	d = bits.RotateLeft32(d^a, 8)
+	c += d
+	b = bits.RotateLeft32(b^c, 7)
+	return a, b, c, d
+}
+
+// block computes one 64-byte keystream block into out.
+func block(key *[8]uint32, counter uint32, nonce *[3]uint32, out *[BlockSize]byte) {
+	s0, s1, s2, s3 := sigma[0], sigma[1], sigma[2], sigma[3]
+	s4, s5, s6, s7 := key[0], key[1], key[2], key[3]
+	s8, s9, s10, s11 := key[4], key[5], key[6], key[7]
+	s12, s13, s14, s15 := counter, nonce[0], nonce[1], nonce[2]
+
+	x0, x1, x2, x3 := s0, s1, s2, s3
+	x4, x5, x6, x7 := s4, s5, s6, s7
+	x8, x9, x10, x11 := s8, s9, s10, s11
+	x12, x13, x14, x15 := s12, s13, s14, s15
+
+	for i := 0; i < 10; i++ {
+		// Column rounds.
+		x0, x4, x8, x12 = quarterRound(x0, x4, x8, x12)
+		x1, x5, x9, x13 = quarterRound(x1, x5, x9, x13)
+		x2, x6, x10, x14 = quarterRound(x2, x6, x10, x14)
+		x3, x7, x11, x15 = quarterRound(x3, x7, x11, x15)
+		// Diagonal rounds.
+		x0, x5, x10, x15 = quarterRound(x0, x5, x10, x15)
+		x1, x6, x11, x12 = quarterRound(x1, x6, x11, x12)
+		x2, x7, x8, x13 = quarterRound(x2, x7, x8, x13)
+		x3, x4, x9, x14 = quarterRound(x3, x4, x9, x14)
+	}
+
+	binary.LittleEndian.PutUint32(out[0:], x0+s0)
+	binary.LittleEndian.PutUint32(out[4:], x1+s1)
+	binary.LittleEndian.PutUint32(out[8:], x2+s2)
+	binary.LittleEndian.PutUint32(out[12:], x3+s3)
+	binary.LittleEndian.PutUint32(out[16:], x4+s4)
+	binary.LittleEndian.PutUint32(out[20:], x5+s5)
+	binary.LittleEndian.PutUint32(out[24:], x6+s6)
+	binary.LittleEndian.PutUint32(out[28:], x7+s7)
+	binary.LittleEndian.PutUint32(out[32:], x8+s8)
+	binary.LittleEndian.PutUint32(out[36:], x9+s9)
+	binary.LittleEndian.PutUint32(out[40:], x10+s10)
+	binary.LittleEndian.PutUint32(out[44:], x11+s11)
+	binary.LittleEndian.PutUint32(out[48:], x12+s12)
+	binary.LittleEndian.PutUint32(out[52:], x13+s13)
+	binary.LittleEndian.PutUint32(out[56:], x14+s14)
+	binary.LittleEndian.PutUint32(out[60:], x15+s15)
+}
+
+func loadState(key, nonce []byte) ([8]uint32, [3]uint32, error) {
+	var k [8]uint32
+	var n [3]uint32
+	if len(key) != KeySize || len(nonce) != NonceSize {
+		return k, n, ErrKeySize
+	}
+	for i := range k {
+		k[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	for i := range n {
+		n[i] = binary.LittleEndian.Uint32(nonce[4*i:])
+	}
+	return k, n, nil
+}
+
+// XORKeyStream XORs src with the ChaCha20 keystream for (key, nonce)
+// starting at the given block counter and writes the result to dst.
+// dst must be at least as long as src and may alias it exactly.
+func XORKeyStream(dst, src, key, nonce []byte, counter uint32) error {
+	k, n, err := loadState(key, nonce)
+	if err != nil {
+		return err
+	}
+	if len(dst) < len(src) {
+		return errors.New("chacha20: dst shorter than src")
+	}
+	var ks [BlockSize]byte
+	for len(src) > 0 {
+		block(&k, counter, &n, &ks)
+		counter++
+		step := len(src)
+		if step > BlockSize {
+			step = BlockSize
+		}
+		for i := 0; i < step; i++ {
+			dst[i] = src[i] ^ ks[i]
+		}
+		src = src[step:]
+		dst = dst[step:]
+	}
+	return nil
+}
+
+// Block exposes a single keystream block; the AEAD uses block 0 to
+// derive the one-time Poly1305 key (RFC 8439 §2.6).
+func Block(key, nonce []byte, counter uint32) ([BlockSize]byte, error) {
+	var out [BlockSize]byte
+	k, n, err := loadState(key, nonce)
+	if err != nil {
+		return out, err
+	}
+	block(&k, counter, &n, &out)
+	return out, nil
+}

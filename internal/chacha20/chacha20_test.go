@@ -1,0 +1,170 @@
+package chacha20
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex: %v", err)
+	}
+	return b
+}
+
+// TestRFC8439BlockFunction checks the keystream block test vector from
+// RFC 8439 §2.3.2.
+func TestRFC8439BlockFunction(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce := unhex(t, "000000090000004a00000000")
+	want := unhex(t,
+		"10f1e7e4d13b5915500fdd1fa32071c4"+
+			"c7d1f4c733c068030422aa9ac3d46c4e"+
+			"d2826446079faa0914c2d705d98b02a2"+
+			"b5129cd1de164eb9cbd083e8a2503c4e")
+	got, err := Block(key, nonce, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("block = %x\nwant    %x", got, want)
+	}
+}
+
+// TestRFC8439Encryption checks the cipher test vector from RFC 8439
+// §2.4.2 ("sunscreen" plaintext).
+func TestRFC8439Encryption(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce := unhex(t, "000000000000004a00000000")
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+	want := unhex(t,
+		"6e2e359a2568f98041ba0728dd0d6981"+
+			"e97e7aec1d4360c20a27afccfd9fae0b"+
+			"f91b65c5524733ab8f593dabcd62b357"+
+			"1639d624e65152ab8f530c359f0861d8"+
+			"07ca0dbf500d6a6156a38e088a22b65e"+
+			"52bc514d16ccf806818ce91ab7793736"+
+			"5af90bbf74a35be6b40b8eedf2785e42"+
+			"874d")
+	got := make([]byte, len(plaintext))
+	if err := XORKeyStream(got, plaintext, key, nonce, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ciphertext mismatch\n got %x\nwant %x", got, want)
+	}
+	// Decrypting must give back the plaintext.
+	back := make([]byte, len(got))
+	if err := XORKeyStream(back, got, key, nonce, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, plaintext) {
+		t.Fatal("decryption did not invert encryption")
+	}
+}
+
+func TestXORKeyStreamInPlace(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	msg := []byte("in-place encryption must match out-of-place encryption exactly")
+	outOfPlace := make([]byte, len(msg))
+	if err := XORKeyStream(outOfPlace, msg, key, nonce, 0); err != nil {
+		t.Fatal(err)
+	}
+	inPlace := append([]byte(nil), msg...)
+	if err := XORKeyStream(inPlace, inPlace, key, nonce, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inPlace, outOfPlace) {
+		t.Fatal("in-place result differs")
+	}
+}
+
+func TestCounterAdvancesPerBlock(t *testing.T) {
+	key := make([]byte, KeySize)
+	key[0] = 7
+	nonce := make([]byte, NonceSize)
+	long := make([]byte, 3*BlockSize)
+	out := make([]byte, len(long))
+	if err := XORKeyStream(out, long, key, nonce, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Encrypting the tail alone with the advanced counter must agree.
+	tail := make([]byte, BlockSize)
+	if err := XORKeyStream(tail, long[2*BlockSize:], key, nonce, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, out[2*BlockSize:]) {
+		t.Fatal("counter does not advance one per block")
+	}
+}
+
+func TestShortAndUnalignedLengths(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	for _, n := range []int{0, 1, 15, 63, 64, 65, 127, 128, 300} {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i)
+		}
+		dst := make([]byte, n)
+		if err := XORKeyStream(dst, src, key, nonce, 0); err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		back := make([]byte, n)
+		if err := XORKeyStream(back, dst, key, nonce, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("len %d: round trip failed", n)
+		}
+	}
+}
+
+func TestBadKeyOrNonceLength(t *testing.T) {
+	if err := XORKeyStream(nil, nil, make([]byte, 16), make([]byte, NonceSize), 0); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if err := XORKeyStream(nil, nil, make([]byte, KeySize), make([]byte, 8), 0); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+	if _, err := Block(make([]byte, 31), make([]byte, NonceSize), 0); err == nil {
+		t.Fatal("Block accepted short key")
+	}
+}
+
+func TestDistinctNoncesProduceDistinctStreams(t *testing.T) {
+	key := make([]byte, KeySize)
+	n1 := make([]byte, NonceSize)
+	n2 := make([]byte, NonceSize)
+	n2[11] = 1
+	zero := make([]byte, BlockSize)
+	s1 := make([]byte, BlockSize)
+	s2 := make([]byte, BlockSize)
+	if err := XORKeyStream(s1, zero, key, n1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := XORKeyStream(s2, zero, key, n2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Fatal("different nonces produced identical keystreams")
+	}
+}
+
+func BenchmarkXORKeyStream1K(b *testing.B) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := XORKeyStream(buf, buf, key, nonce, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

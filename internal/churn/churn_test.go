@@ -1,0 +1,168 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func baseConfig() Config {
+	return Config{
+		NumServers: 100,
+		F:          0.2,
+		Pairs:      5_000,
+		Trials:     30,
+		Seed:       42,
+	}
+}
+
+func TestZeroChurnZeroFailures(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ChurnRate = 0
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureRate != 0 || res.ChainFailureRate != 0 {
+		t.Fatalf("failures with zero churn: %+v", res)
+	}
+}
+
+func TestFullChurnAllFail(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ChurnRate = 1
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureRate != 1 {
+		t.Fatalf("full churn failure rate = %v", res.FailureRate)
+	}
+}
+
+// TestPaperOnePercentChurn reproduces §8.3's headline: at 1% server
+// churn (Tor-like) about 27% of conversations fail in a round.
+func TestPaperOnePercentChurn(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ChurnRate = 0.01
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureRate < 0.20 || res.FailureRate > 0.35 {
+		t.Fatalf("failure rate at 1%% churn = %.3f, paper reports ≈0.27", res.FailureRate)
+	}
+}
+
+// TestPaperFourPercentChurn: ≈70% at 4% churn (§8.3).
+func TestPaperFourPercentChurn(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ChurnRate = 0.04
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureRate < 0.60 || res.FailureRate > 0.82 {
+		t.Fatalf("failure rate at 4%% churn = %.3f, paper reports ≈0.70", res.FailureRate)
+	}
+}
+
+// TestMatchesClosedForm: the Monte-Carlo result must track the
+// 1−(1−c)^k closed form within sampling noise.
+func TestMatchesClosedForm(t *testing.T) {
+	for _, rate := range []float64{0.005, 0.01, 0.02, 0.04} {
+		cfg := baseConfig()
+		cfg.ChurnRate = rate
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.ConversationFailureRate(rate, res.ChainLength)
+		if math.Abs(res.FailureRate-want) > 0.06 {
+			t.Fatalf("rate %.3f: simulated %.3f vs closed form %.3f", rate, res.FailureRate, want)
+		}
+	}
+}
+
+// TestMoreServersFailMore: Figure 8 shows larger deployments fail
+// slightly more at equal churn because k grows with n.
+func TestMoreServersFailMore(t *testing.T) {
+	rates := []float64{}
+	for _, n := range []int{100, 500, 1000} {
+		cfg := baseConfig()
+		cfg.NumServers = n
+		cfg.ChurnRate = 0.02
+		cfg.Pairs = 2000
+		cfg.Trials = 20
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, res.FailureRate)
+	}
+	// Monotone within noise: allow tiny decreases but require the
+	// 1000-server rate to be at least the 100-server rate - noise.
+	if rates[2] < rates[0]-0.05 {
+		t.Fatalf("failure rates %v should not fall with more servers", rates)
+	}
+}
+
+func TestMonotoneInChurn(t *testing.T) {
+	results, err := Sweep(baseConfig(), []float64{0.005, 0.01, 0.02, 0.03, 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].FailureRate+0.03 < results[i-1].FailureRate {
+			t.Fatalf("failure rate fell from %.3f to %.3f with more churn",
+				results[i-1].FailureRate, results[i].FailureRate)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Pairs = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("zero pairs accepted")
+	}
+	cfg = baseConfig()
+	cfg.ChurnRate = 1.5
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("churn > 1 accepted")
+	}
+	cfg = baseConfig()
+	cfg.Trials = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ChurnRate = 0.02
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FailureRate != b.FailureRate {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := baseConfig()
+	cfg.ChurnRate = 0.01
+	cfg.Trials = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package client implements the XRD user protocol (§5.3): chain
+// selection, loopback and conversation message generation (Algorithm
+// 2 with the AHS envelopes of §6.2), the cover messages for round
+// ρ+1 that protect against user churn (§5.3.3), and mailbox
+// decryption.
+//
+// A user sends ℓ fixed-size messages every round. Chains that carry a
+// conversation get a message encrypted for the partner; all others
+// get loopbacks to her own mailbox. Both look identical on the wire,
+// and she always receives exactly ℓ messages back.
+//
+// Multiple simultaneous conversations (§9) are supported when every
+// partner pair meets on a distinct chain: each such chain carries one
+// conversation, amortising the ℓ messages across partners. A clash —
+// two partners meeting this user on the same chain — is rejected,
+// matching the limitation the paper states.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aead"
+	"repro/internal/chainsel"
+	"repro/internal/group"
+	"repro/internal/kdf"
+	"repro/internal/mix"
+	"repro/internal/onion"
+)
+
+// Lanes separate the mailbox-layer nonces of fresh messages from
+// cover messages so the same directional conversation key is never
+// used twice with one nonce: a cover sealed for round ρ+1 during
+// round ρ and a fresh message sealed in round ρ+1 would otherwise
+// collide.
+const (
+	LaneCurrent byte = 0
+	LaneCover   byte = 1
+)
+
+// maxFormerPartners bounds how many ended conversations' keys are
+// retained to decrypt stragglers (a former partner's banked covers).
+const maxFormerPartners = 4
+
+// ErrNotConversing is returned by QueueMessage without a partner.
+var ErrNotConversing = errors.New("client: not in a conversation")
+
+// ErrChainClash is returned when two partners would share a meeting
+// chain with this user, which XRD cannot multiplex (§9).
+var ErrChainClash = errors.New("client: two partners meet on the same chain")
+
+// ParamsSource supplies chain parameters for a round; satisfied by
+// the core network and by the RPC client.
+type ParamsSource interface {
+	// ChainParams returns the public parameters of chain for round;
+	// the round's inner keys must already be announced.
+	ChainParams(chain int, round uint64) (mix.Params, error)
+}
+
+// User holds a user's key material and conversation state.
+type User struct {
+	scheme   aead.Scheme
+	plan     *chainsel.Plan
+	identity group.KeyPair
+	// loopbackSecret derives the chain-specific loopback keys s_xA
+	// known only to this user.
+	loopbackSecret [32]byte
+
+	// partners maps a meeting chain to the partner this user
+	// converses with there (§9: one conversation per chain).
+	partners map[int]group.Point
+	// outbox queues message bodies per partner (keyed by compressed
+	// public key).
+	outbox map[string][][]byte
+	// former retains ended partners' keys so stragglers — most
+	// notably a former partner's banked cover messages arriving a
+	// round after the offline signal — still decrypt.
+	former []group.Point
+}
+
+// NewUser creates a user with a fresh identity key pair. A nil scheme
+// selects ChaCha20-Poly1305, the deployment default.
+func NewUser(scheme aead.Scheme, plan *chainsel.Plan) *User {
+	if scheme == nil {
+		scheme = aead.ChaCha20Poly1305()
+	}
+	u := &User{
+		scheme:   scheme,
+		plan:     plan,
+		identity: group.GenerateBaseKeyPair(),
+		partners: make(map[int]group.Point),
+		outbox:   make(map[string][][]byte),
+	}
+	copy(u.loopbackSecret[:], group.MustRandomScalar().Bytes())
+	return u
+}
+
+// PublicKey returns the user's identity public key, which is also her
+// mailbox identifier (§5.1).
+func (u *User) PublicKey() group.Point { return u.identity.Public }
+
+// Mailbox returns the user's mailbox identifier bytes.
+func (u *User) Mailbox() []byte { return u.identity.Public.Bytes() }
+
+// Chains returns the multiset of chains this user submits to each
+// round (§5.3.1).
+func (u *User) Chains() []int { return u.plan.ChainsForUser(u.Mailbox()) }
+
+// StartConversation begins a conversation with the holder of
+// partner's public key, alongside any existing conversations. Per
+// §3.1 the two users agree to start out-of-band; both sides must call
+// this for the same round for messages to cross. It fails with
+// ErrChainClash if the partner's meeting chain is already carrying
+// another of this user's conversations (§9's stated limitation).
+func (u *User) StartConversation(partner group.Point) error {
+	meeting := u.plan.MeetingChainForUsers(u.Mailbox(), partner.Bytes())
+	if existing, ok := u.partners[meeting]; ok {
+		if existing.Equal(partner) {
+			return nil
+		}
+		return fmt.Errorf("%w: chain %d", ErrChainClash, meeting)
+	}
+	u.partners[meeting] = partner
+	return nil
+}
+
+// StartConversations begins several conversations at once (§9 group
+// scenario), atomically: either all partners are accepted or none.
+func (u *User) StartConversations(partners []group.Point) error {
+	staged := make(map[int]group.Point, len(partners))
+	for _, p := range partners {
+		meeting := u.plan.MeetingChainForUsers(u.Mailbox(), p.Bytes())
+		if existing, ok := staged[meeting]; ok && !existing.Equal(p) {
+			return fmt.Errorf("%w: chain %d", ErrChainClash, meeting)
+		}
+		if existing, ok := u.partners[meeting]; ok && !existing.Equal(p) {
+			return fmt.Errorf("%w: chain %d", ErrChainClash, meeting)
+		}
+		staged[meeting] = p
+	}
+	for c, p := range staged {
+		u.partners[c] = p
+	}
+	return nil
+}
+
+// EndConversation ends the conversation with one partner; the wire
+// pattern does not change. The partner's key is retained so stale
+// messages from them still decrypt.
+func (u *User) EndConversation(partner group.Point) {
+	for c, p := range u.partners {
+		if p.Equal(partner) {
+			u.retainFormer(p)
+			delete(u.partners, c)
+			delete(u.outbox, string(p.Bytes()))
+		}
+	}
+}
+
+// EndAllConversations reverts to loopback-only traffic.
+func (u *User) EndAllConversations() {
+	for _, p := range u.partners {
+		u.retainFormer(p)
+	}
+	u.partners = make(map[int]group.Point)
+	u.outbox = make(map[string][][]byte)
+}
+
+func (u *User) retainFormer(p group.Point) {
+	u.former = append(u.former, p)
+	if len(u.former) > maxFormerPartners {
+		u.former = u.former[len(u.former)-maxFormerPartners:]
+	}
+}
+
+// InConversation reports whether any partner is set.
+func (u *User) InConversation() bool { return len(u.partners) > 0 }
+
+// Partners returns the current conversation partners.
+func (u *User) Partners() []group.Point {
+	out := make([]group.Point, 0, len(u.partners))
+	for _, p := range u.partners {
+		out = append(out, p)
+	}
+	return out
+}
+
+// QueueMessage enqueues a body when exactly one conversation is
+// active; with several partners use QueueMessageFor.
+func (u *User) QueueMessage(body []byte) error {
+	if len(u.partners) != 1 {
+		if len(u.partners) == 0 {
+			return ErrNotConversing
+		}
+		return errors.New("client: several conversations active; use QueueMessageFor")
+	}
+	for _, p := range u.partners {
+		return u.QueueMessageFor(p, body)
+	}
+	return nil // unreachable
+}
+
+// QueueMessageFor enqueues a body for one partner; one queued body is
+// sent to them per round, and bodies must fit onion.BodySize.
+func (u *User) QueueMessageFor(partner group.Point, body []byte) error {
+	if len(body) > onion.BodySize {
+		return fmt.Errorf("client: body %d bytes exceeds %d", len(body), onion.BodySize)
+	}
+	for _, p := range u.partners {
+		if p.Equal(partner) {
+			key := string(partner.Bytes())
+			u.outbox[key] = append(u.outbox[key], append([]byte(nil), body...))
+			return nil
+		}
+	}
+	return ErrNotConversing
+}
+
+// MeetingChain returns the chain shared with the single active
+// partner; with several partners use MeetingChains.
+func (u *User) MeetingChain() (int, error) {
+	if len(u.partners) != 1 {
+		return 0, ErrNotConversing
+	}
+	for c := range u.partners {
+		return c, nil
+	}
+	return 0, ErrNotConversing // unreachable
+}
+
+// MeetingChains maps each active partner to the chain carrying that
+// conversation.
+func (u *User) MeetingChains() map[int]group.Point {
+	out := make(map[int]group.Point, len(u.partners))
+	for c, p := range u.partners {
+		out[c] = p
+	}
+	return out
+}
+
+// ChainMessage is one submission addressed to one chain.
+type ChainMessage struct {
+	Chain int
+	Sub   onion.Submission
+}
+
+// RoundOutput is everything a user sends in round ρ: her messages for
+// the current round and the cover messages the servers will use in
+// round ρ+1 if she goes offline (§5.3.3).
+type RoundOutput struct {
+	Round   uint64
+	Current []ChainMessage
+	Cover   []ChainMessage
+}
+
+// BuildRound produces the user's submissions for round rho and her
+// covers for round rho+1. Chain parameters for both rounds must be
+// available from src (the coordinator announces round ρ+1's inner
+// keys during round ρ).
+func (u *User) BuildRound(rho uint64, src ParamsSource) (*RoundOutput, error) {
+	cur, err := u.buildLane(rho, LaneCurrent, src)
+	if err != nil {
+		return nil, fmt.Errorf("client: building round %d: %w", rho, err)
+	}
+	cover, err := u.buildLane(rho+1, LaneCover, src)
+	if err != nil {
+		return nil, fmt.Errorf("client: building covers for round %d: %w", rho+1, err)
+	}
+	return &RoundOutput{Round: rho, Current: cur, Cover: cover}, nil
+}
+
+// buildLane constructs the ℓ messages of one lane for the given
+// round: the fresh messages (LaneCurrent) or the covers (LaneCover).
+// A cover conversation message carries KindOffline so each partner
+// learns the sender went away if it is ever used.
+func (u *User) buildLane(round uint64, lane byte, src ParamsSource) ([]ChainMessage, error) {
+	// The chain-layer nonce is always lane 0: every message processed
+	// in round τ is mixed under RoundNonce(τ, 0) regardless of when
+	// it was built. Only the mailbox layer is lane-separated.
+	mailboxNonce := aead.RoundNonce(round, lane)
+	chainNonce := aead.RoundNonce(round, LaneCurrent)
+
+	var out []ChainMessage
+	used := make(map[int]bool) // first occurrence of a chain carries its conversation
+	for _, chain := range u.Chains() {
+		params, err := src.ChainParams(chain, round)
+		if err != nil {
+			return nil, err
+		}
+		var msg []byte
+		if partner, ok := u.partners[chain]; ok && !used[chain] {
+			used[chain] = true
+			msg, err = u.conversationMessage(partner, lane, mailboxNonce)
+		} else {
+			msg, err = u.loopbackMessage(chain, mailboxNonce)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sub, err := onion.WrapAHS(u.scheme, params.InnerAggregate, params.MixKeys, round, chain, chainNonce, msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChainMessage{Chain: chain, Sub: sub})
+	}
+	return out, nil
+}
+
+// conversationMessage builds the message for one partner: a fresh
+// body from that partner's outbox (possibly empty) for the current
+// lane, or the KindOffline signal for the cover lane.
+func (u *User) conversationMessage(partner group.Point, lane byte, nonce [aead.NonceSize]byte) ([]byte, error) {
+	shared := group.DH(partner, u.identity.Private)
+	key := kdf.ConversationKey(shared, partner.Bytes())
+	payload := onion.Payload{Kind: onion.KindConversation}
+	if lane == LaneCover {
+		payload.Kind = onion.KindOffline
+	} else {
+		pk := string(partner.Bytes())
+		if q := u.outbox[pk]; len(q) > 0 {
+			payload.Body = q[0]
+			u.outbox[pk] = q[1:]
+		}
+	}
+	return onion.SealMailboxMessage(u.scheme, key, nonce, partner, payload)
+}
+
+// loopbackMessage builds a dummy message back to the user's own
+// mailbox under the chain-specific loopback key (§5.3.2 step 1a).
+func (u *User) loopbackMessage(chain int, nonce [aead.NonceSize]byte) ([]byte, error) {
+	key := kdf.LoopbackKey(u.loopbackSecret, chain)
+	return onion.SealMailboxMessage(u.scheme, key, nonce, u.identity.Public, onion.Payload{Kind: onion.KindLoopback})
+}
+
+// Received is one decrypted mailbox message.
+type Received struct {
+	Kind onion.Kind
+	Body []byte
+	// FromPartner reports the message decrypted under a current
+	// conversation key rather than a loopback key; From identifies
+	// the partner.
+	FromPartner bool
+	From        group.Point
+	// FromFormerPartner reports a straggler from an already-ended
+	// conversation (e.g. the former partner's banked covers).
+	FromFormerPartner bool
+}
+
+// OpenMailbox decrypts the round's mailbox download. Messages are
+// tried against every active partner's conversation key, the retained
+// former partners' keys, and every chain-specific loopback key, in
+// both lanes (a partner's cover is sealed in the cover lane).
+// Undecryptable messages are counted; they indicate tampering or
+// misdelivery and never happen in honest runs.
+//
+// A KindOffline message from a partner ends that conversation
+// locally, mirroring §5.3.3: from the next round the user sends a
+// loopback on that chain, so the pair's disappearance is
+// unobservable.
+// keyedPartner pairs a partner with the derived inbound key.
+type keyedPartner struct {
+	p   group.Point
+	key kdf.Key
+}
+
+func (u *User) OpenMailbox(rho uint64, msgs [][]byte) (received []Received, undecryptable int) {
+	actives := make([]keyedPartner, 0, len(u.partners))
+	for _, p := range u.partners {
+		shared := group.DH(p, u.identity.Private)
+		actives = append(actives, keyedPartner{p, kdf.ConversationKey(shared, u.Mailbox())})
+	}
+	formers := make([]keyedPartner, 0, len(u.former))
+	for _, p := range u.former {
+		shared := group.DH(p, u.identity.Private)
+		formers = append(formers, keyedPartner{p, kdf.ConversationKey(shared, u.Mailbox())})
+	}
+
+	var gone []group.Point
+	for _, m := range msgs {
+		r, ok := u.openOne(rho, m, actives, formers)
+		if !ok {
+			undecryptable++
+			continue
+		}
+		if r.FromPartner && r.Kind == onion.KindOffline {
+			gone = append(gone, r.From)
+		}
+		received = append(received, r)
+	}
+	for _, p := range gone {
+		u.EndConversation(p)
+	}
+	return received, undecryptable
+}
+
+func (u *User) openOne(rho uint64, m []byte, actives, formers []keyedPartner) (Received, bool) {
+	for _, lane := range []byte{LaneCurrent, LaneCover} {
+		nonce := aead.RoundNonce(rho, lane)
+		for _, kp := range actives {
+			if p, err := onion.OpenMailboxMessage(u.scheme, kp.key, nonce, m); err == nil {
+				return Received{Kind: p.Kind, Body: p.Body, FromPartner: true, From: kp.p}, true
+			}
+		}
+		for _, kp := range formers {
+			if p, err := onion.OpenMailboxMessage(u.scheme, kp.key, nonce, m); err == nil {
+				return Received{Kind: p.Kind, Body: p.Body, FromFormerPartner: true, From: kp.p}, true
+			}
+		}
+		for _, chain := range distinct(u.Chains()) {
+			key := kdf.LoopbackKey(u.loopbackSecret, chain)
+			if p, err := onion.OpenMailboxMessage(u.scheme, key, nonce, m); err == nil {
+				return Received{Kind: p.Kind, Body: p.Body}, true
+			}
+		}
+	}
+	return Received{}, false
+}
+
+func distinct(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package client_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aead"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/onion"
+)
+
+func testNet(t testing.TB) *core.Network {
+	t.Helper()
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          6,
+		ChainLengthOverride: 3,
+		Seed:                []byte("client-test-beacon"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildRoundShape(t *testing.T) {
+	n := testNet(t)
+	u := n.NewUser()
+	out, err := u.BuildRound(n.Round(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Plan().L
+	if len(out.Current) != l {
+		t.Fatalf("current lane has %d messages, want ℓ=%d", len(out.Current), l)
+	}
+	if len(out.Cover) != l {
+		t.Fatalf("cover lane has %d messages, want ℓ=%d", len(out.Cover), l)
+	}
+	// Messages go exactly to the user's selected chains, in order.
+	chains := u.Chains()
+	for i, cm := range out.Current {
+		if cm.Chain != chains[i] {
+			t.Fatalf("current[%d] goes to chain %d, want %d", i, cm.Chain, chains[i])
+		}
+	}
+	// Every submission carries a valid PoK for its chain and round.
+	for _, cm := range out.Current {
+		if err := onion.VerifySubmission(cm.Sub, out.Round, cm.Chain); err != nil {
+			t.Fatalf("current submission proof: %v", err)
+		}
+	}
+	for _, cm := range out.Cover {
+		if err := onion.VerifySubmission(cm.Sub, out.Round+1, cm.Chain); err != nil {
+			t.Fatalf("cover submission proof: %v", err)
+		}
+	}
+}
+
+func TestBuildRoundFixedSizeSubmissions(t *testing.T) {
+	n := testNet(t)
+	u := n.NewUser()
+	v := n.NewUser()
+	if err := u.StartConversation(v.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.QueueMessage([]byte("some body")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := u.BuildRound(n.Round(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outIdle, err := v.BuildRound(n.Round(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conversing and idle users' submissions must be byte-identical
+	// in size: this is the wire-level indistinguishability privacy
+	// rests on.
+	size := len(out.Current[0].Sub.Ct)
+	for _, cm := range append(out.Current, outIdle.Current...) {
+		if len(cm.Sub.Ct) != size {
+			t.Fatalf("ciphertext size %d differs from %d", len(cm.Sub.Ct), size)
+		}
+	}
+}
+
+func TestQueueMessageValidation(t *testing.T) {
+	n := testNet(t)
+	u := n.NewUser()
+	if err := u.QueueMessage([]byte("x")); err == nil {
+		t.Fatal("QueueMessage succeeded without a conversation")
+	}
+	v := n.NewUser()
+	if err := u.StartConversation(v.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.QueueMessage(make([]byte, onion.BodySize+1)); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+	if err := u.QueueMessage(make([]byte, onion.BodySize)); err != nil {
+		t.Fatalf("max-size body rejected: %v", err)
+	}
+}
+
+func TestMeetingChainAgreement(t *testing.T) {
+	n := testNet(t)
+	a := n.NewUser()
+	b := n.NewUser()
+	if err := a.StartConversation(b.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartConversation(a.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.MeetingChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.MeetingChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("meeting chains disagree: %d vs %d", ca, cb)
+	}
+	if _, err := n.NewUser().MeetingChain(); err == nil {
+		t.Fatal("MeetingChain without conversation succeeded")
+	}
+}
+
+func TestEndConversationRevertsToLoopbacks(t *testing.T) {
+	n := testNet(t)
+	a := n.NewUser()
+	b := n.NewUser()
+	if err := a.StartConversation(b.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if !a.InConversation() {
+		t.Fatal("not in conversation after start")
+	}
+	a.EndConversation(b.PublicKey())
+	if a.InConversation() {
+		t.Fatal("still in conversation after end")
+	}
+	if err := a.QueueMessage([]byte("x")); err == nil {
+		t.Fatal("queueing after end succeeded")
+	}
+}
+
+func TestOpenMailboxIgnoresGarbage(t *testing.T) {
+	n := testNet(t)
+	u := n.NewUser()
+	garbage := make([]byte, onion.MailboxMessageSize)
+	recv, bad := u.OpenMailbox(1, [][]byte{garbage, []byte("short")})
+	if len(recv) != 0 || bad != 2 {
+		t.Fatalf("recv=%d bad=%d, want 0/2", len(recv), bad)
+	}
+}
+
+func TestOpenMailboxCrossUserIsolation(t *testing.T) {
+	// A message sealed for one user must not decrypt for another.
+	n := testNet(t)
+	a := n.NewUser()
+	b := n.NewUser()
+	if err := a.StartConversation(b.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartConversation(a.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.QueueMessage([]byte("for bob only")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobMsgs := n.Fetch(b, rep.Round)
+	eve := n.NewUser()
+	recv, bad := eve.OpenMailbox(rep.Round, bobMsgs)
+	if len(recv) != 0 || bad != len(bobMsgs) {
+		t.Fatalf("eve decrypted %d of bob's messages", len(recv))
+	}
+}
+
+func TestDistinctUsersDistinctKeys(t *testing.T) {
+	n := testNet(t)
+	a := n.NewUser()
+	b := n.NewUser()
+	if a.PublicKey().Equal(b.PublicKey()) {
+		t.Fatal("two users share a public key")
+	}
+	if bytes.Equal(a.Mailbox(), b.Mailbox()) {
+		t.Fatal("two users share a mailbox")
+	}
+	if len(a.Mailbox()) != group.PointSize {
+		t.Fatalf("mailbox id length %d", len(a.Mailbox()))
+	}
+}
+
+func TestCoverLaneNonceSeparation(t *testing.T) {
+	// The cover conversation message for round ρ+1 and a fresh round
+	// ρ+1 conversation message use the same directional key; the lane
+	// byte must keep their nonces distinct. We check the two seal
+	// nonces differ.
+	n1 := aead.RoundNonce(5, client.LaneCurrent)
+	n2 := aead.RoundNonce(5, client.LaneCover)
+	if n1 == n2 {
+		t.Fatal("lane nonces collide")
+	}
+}
+
+func BenchmarkBuildRound(b *testing.B) {
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          100,
+		ChainLengthOverride: 32,
+		Seed:                []byte("bench"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := n.NewUser()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.BuildRound(n.Round(), n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// findDistinctTriple draws users until the three pairwise meeting
+// chains are distinct (the §9 group precondition).
+func findDistinctTriple(t *testing.T, n *core.Network) (a, b, c *client.User) {
+	t.Helper()
+	plan := n.Plan()
+	for attempt := 0; attempt < 300; attempt++ {
+		a, b, c = n.NewUser(), n.NewUser(), n.NewUser()
+		ab := plan.MeetingChainForUsers(a.Mailbox(), b.Mailbox())
+		ac := plan.MeetingChainForUsers(a.Mailbox(), c.Mailbox())
+		bc := plan.MeetingChainForUsers(b.Mailbox(), c.Mailbox())
+		if ab != ac && ab != bc && ac != bc {
+			return a, b, c
+		}
+	}
+	t.Skip("no clash-free triple found for this topology")
+	return nil, nil, nil
+}
+
+// TestGroupConversation exercises §9: three users, three pairwise
+// conversations on distinct chains, every body delivered, and the
+// wire pattern still exactly ℓ messages per user.
+func TestGroupConversation(t *testing.T) {
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          21,
+		ChainLengthOverride: 3,
+		Seed:                []byte("group-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := findDistinctTriple(t, n)
+	group := []*client.User{a, b, c}
+	for _, u := range group {
+		for _, v := range group {
+			if u != v {
+				if err := u.StartConversation(v.PublicKey()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if len(u.Partners()) != 2 {
+			t.Fatalf("partners = %d, want 2", len(u.Partners()))
+		}
+	}
+	for i, u := range group {
+		for _, p := range u.Partners() {
+			if err := u.QueueMessageFor(p, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep, err := n.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Plan().L
+	for i, u := range group {
+		msgs := n.Fetch(u, rep.Round)
+		if len(msgs) != l {
+			t.Fatalf("user %d received %d messages, want ℓ=%d", i, len(msgs), l)
+		}
+		recv, bad := u.OpenMailbox(rep.Round, msgs)
+		if bad != 0 {
+			t.Fatalf("user %d: %d undecryptable", i, bad)
+		}
+		fromPartners := 0
+		for _, r := range recv {
+			if r.FromPartner && r.Kind == onion.KindConversation {
+				fromPartners++
+			}
+		}
+		if fromPartners != 2 {
+			t.Fatalf("user %d received %d partner messages, want 2", i, fromPartners)
+		}
+	}
+}
+
+// TestChainClashRejected: a second partner on an occupied meeting
+// chain must be rejected atomically.
+func TestChainClashRejected(t *testing.T) {
+	n := testNet(t) // 6 chains: clashes are common
+	plan := n.Plan()
+	u := n.NewUser()
+	// Find two other users whose meeting chains with u collide.
+	var v, w *client.User
+	for attempt := 0; attempt < 500 && w == nil; attempt++ {
+		x := n.NewUser()
+		if v == nil {
+			v = x
+			continue
+		}
+		if plan.MeetingChainForUsers(u.Mailbox(), x.Mailbox()) ==
+			plan.MeetingChainForUsers(u.Mailbox(), v.Mailbox()) {
+			w = x
+		}
+	}
+	if w == nil {
+		t.Skip("no clash found")
+	}
+	if err := u.StartConversation(v.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	err := u.StartConversation(w.PublicKey())
+	if err == nil {
+		t.Fatal("clashing conversation accepted")
+	}
+	if len(u.Partners()) != 1 {
+		t.Fatalf("partners = %d after rejected start", len(u.Partners()))
+	}
+	// Atomic batch: the whole StartConversations must fail.
+	u2 := n.NewUser()
+	if err := u2.StartConversations([]group.Point{v.PublicKey(), w.PublicKey()}); err != nil {
+		// Clash relative to u2 may or may not exist; only verify
+		// atomicity when it does.
+		if len(u2.Partners()) != 0 {
+			t.Fatal("partial application after failed StartConversations")
+		}
+	}
+}
+
+// TestEndOneOfSeveralConversations: ending one conversation leaves
+// the others running.
+func TestEndOneOfSeveralConversations(t *testing.T) {
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          21,
+		ChainLengthOverride: 3,
+		Seed:                []byte("end-one"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := findDistinctTriple(t, n)
+	if err := a.StartConversations([]group.Point{b.PublicKey(), c.PublicKey()}); err != nil {
+		t.Fatal(err)
+	}
+	a.EndConversation(b.PublicKey())
+	if len(a.Partners()) != 1 || !a.Partners()[0].Equal(c.PublicKey()) {
+		t.Fatalf("partners after ending one: %v", a.Partners())
+	}
+	if err := a.QueueMessageFor(b.PublicKey(), []byte("x")); err == nil {
+		t.Fatal("queueing for an ended partner succeeded")
+	}
+	if err := a.QueueMessageFor(c.PublicKey(), []byte("x")); err != nil {
+		t.Fatalf("queueing for the remaining partner failed: %v", err)
+	}
+}
+
+// TestQueueMessageAmbiguousWithSeveralPartners: the single-partner
+// convenience must refuse when the target is ambiguous.
+func TestQueueMessageAmbiguousWithSeveralPartners(t *testing.T) {
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          21,
+		ChainLengthOverride: 3,
+		Seed:                []byte("ambiguous"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := findDistinctTriple(t, n)
+	if err := a.StartConversations([]group.Point{b.PublicKey(), c.PublicKey()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.QueueMessage([]byte("for whom?")); err == nil {
+		t.Fatal("ambiguous QueueMessage accepted")
+	}
+}

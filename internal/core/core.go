@@ -1,0 +1,445 @@
+// Package core assembles a complete XRD network and drives its
+// rounds: it is the public API of this reproduction.
+//
+// A Network owns the mix servers organised into parallel anytrust
+// chains (§5.2), the mailbox cluster (§5.1), the deterministic
+// chain-selection plan (§5.3.1) and the user registry. Each call to
+// RunRound executes one communication round end to end (Figure 1):
+// users build their ℓ messages plus the next round's covers, every
+// chain mixes with aggregate-hybrid-shuffle verification (§6),
+// results land in mailboxes, and users fetch and decrypt.
+//
+// Misbehaviour injected through CorruptServer or InjectSubmission
+// surfaces in the RoundReport: halted chains, blamed servers, blamed
+// (and automatically removed) users — mirroring §6.4's guarantees.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/aead"
+	"repro/internal/chainsel"
+	"repro/internal/client"
+	"repro/internal/mailbox"
+	"repro/internal/mix"
+	"repro/internal/onion"
+	"repro/internal/topology"
+)
+
+// Config describes a network deployment.
+type Config struct {
+	// NumServers is N, the number of mix servers.
+	NumServers int
+	// NumChains is n; zero means n = N as in the paper (§5.2.1).
+	NumChains int
+	// F is the assumed fraction of malicious servers; ignored if
+	// ChainLengthOverride is set.
+	F float64
+	// SecurityBits is λ for the anytrust bound; zero means 64.
+	SecurityBits int
+	// ChainLengthOverride fixes the chain length k directly, for
+	// small test deployments and exact-paper comparisons (k=32).
+	ChainLengthOverride int
+	// Seed is the public randomness for chain formation.
+	Seed []byte
+	// MailboxServers is the mailbox cluster size; zero means 1.
+	MailboxServers int
+	// Scheme is the AEAD; nil means ChaCha20-Poly1305.
+	Scheme aead.Scheme
+	// DisableStaggering turns off position staggering (§5.2.1), for
+	// the ablation benchmark.
+	DisableStaggering bool
+}
+
+// Network is a fully assembled XRD deployment.
+type Network struct {
+	cfg    Config
+	scheme aead.Scheme
+	plan   *chainsel.Plan
+	topo   *topology.Topology
+	chains []*mix.Chain
+	boxes  *mailbox.Cluster
+
+	mu    sync.Mutex
+	round uint64
+	users map[string]*registeredUser
+	// failedServers marks crashed mix servers; chains containing one
+	// are skipped and their conversations fail for the round (§5.2.3).
+	failedServers map[int]bool
+	// injected are raw submissions added to chain batches this round
+	// (fault injection for malicious users).
+	injected map[int][]onion.Submission
+	// externals are network-transport users (see external.go).
+	externals map[string]*externalUser
+}
+
+type registeredUser struct {
+	u       *client.User
+	online  bool
+	removed bool
+	// cover holds the covers submitted last round, usable exactly in
+	// round coverRound if the user is offline (§5.3.3).
+	cover      []client.ChainMessage
+	coverRound uint64
+	// coversUsed records that the covers ran while the user was away:
+	// the KindOffline signal went out and the partner reverted to
+	// loopbacks, so on reconnection the user's conversation is over
+	// and must be re-initiated out-of-band (§5.3.3: "this could be
+	// used to end conversations as well").
+	coversUsed bool
+}
+
+// NewNetwork builds the topology, keys every chain, and announces
+// round 1 (and round 2 cover) keys.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Scheme == nil {
+		cfg.Scheme = aead.ChaCha20Poly1305()
+	}
+	if cfg.MailboxServers == 0 {
+		cfg.MailboxServers = 1
+	}
+	topo, err := topology.Build(topology.Config{
+		NumServers:          cfg.NumServers,
+		NumChains:           cfg.NumChains,
+		F:                   cfg.F,
+		SecurityBits:        cfg.SecurityBits,
+		ChainLengthOverride: cfg.ChainLengthOverride,
+		Seed:                cfg.Seed,
+		DisableStaggering:   cfg.DisableStaggering,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building topology: %w", err)
+	}
+	plan, err := chainsel.NewPlan(len(topo.Chains))
+	if err != nil {
+		return nil, fmt.Errorf("core: building chain-selection plan: %w", err)
+	}
+	boxes, err := mailbox.NewCluster(cfg.MailboxServers)
+	if err != nil {
+		return nil, fmt.Errorf("core: building mailbox cluster: %w", err)
+	}
+	n := &Network{
+		cfg:           cfg,
+		scheme:        cfg.Scheme,
+		plan:          plan,
+		topo:          topo,
+		boxes:         boxes,
+		round:         1,
+		users:         make(map[string]*registeredUser),
+		failedServers: make(map[int]bool),
+		injected:      make(map[int][]onion.Submission),
+	}
+	for c := range topo.Chains {
+		chain, err := mix.NewChain(c, topo.ChainLength, cfg.Scheme)
+		if err != nil {
+			return nil, fmt.Errorf("core: keying chain %d: %w", c, err)
+		}
+		n.chains = append(n.chains, chain)
+	}
+	if err := n.announce(n.round); err != nil {
+		return nil, err
+	}
+	if err := n.announce(n.round + 1); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *Network) announce(round uint64) error {
+	for _, c := range n.chains {
+		if err := c.BeginRound(round); err != nil {
+			return fmt.Errorf("core: announcing round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// Plan exposes the chain-selection plan (for tests and experiments).
+func (n *Network) Plan() *chainsel.Plan { return n.plan }
+
+// Topology exposes the server-to-chain assignment.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// NumChains returns n, the number of mix chains.
+func (n *Network) NumChains() int { return len(n.chains) }
+
+// Round returns the upcoming round number.
+func (n *Network) Round() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.round
+}
+
+// ChainParams implements client.ParamsSource.
+func (n *Network) ChainParams(chain int, round uint64) (mix.Params, error) {
+	if chain < 0 || chain >= len(n.chains) {
+		return mix.Params{}, fmt.Errorf("core: no chain %d", chain)
+	}
+	return n.chains[chain].ParamsFor(round)
+}
+
+// NewUser creates and registers a user; she participates in every
+// round until she goes offline or is removed for misbehaviour.
+func (n *Network) NewUser() *client.User {
+	u := client.NewUser(n.scheme, n.plan)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.users[string(u.Mailbox())] = &registeredUser{u: u, online: true}
+	return u
+}
+
+// NumUsers returns the number of registered, non-removed users.
+func (n *Network) NumUsers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, ru := range n.users {
+		if !ru.removed {
+			c++
+		}
+	}
+	return c
+}
+
+// SetOnline marks a user online or offline for subsequent rounds. The
+// first offline round is covered by her pre-submitted cover messages
+// (§5.3.3). If those covers ran while she was away, her conversation
+// was ended by the offline signal, so reconnecting reverts her to
+// loopback traffic until a conversation is re-initiated.
+func (n *Network) SetOnline(u *client.User, online bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ru, ok := n.users[string(u.Mailbox())]
+	if !ok {
+		return
+	}
+	if online && !ru.online && ru.coversUsed {
+		ru.u.EndAllConversations()
+		ru.coversUsed = false
+	}
+	ru.online = online
+}
+
+// IsRemoved reports whether the user was removed for misbehaviour.
+func (n *Network) IsRemoved(u *client.User) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ru, ok := n.users[string(u.Mailbox())]
+	return ok && ru.removed
+}
+
+// FailServer crashes a mix server: every chain containing it halts
+// for subsequent rounds until RestoreServer (§5.2.3).
+func (n *Network) FailServer(server int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failedServers[server] = true
+}
+
+// RestoreServer brings a crashed server back.
+func (n *Network) RestoreServer(server int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.failedServers, server)
+}
+
+// CorruptServer attaches a corruption to the server at the given
+// position of a chain (fault injection; see mix.Corruption).
+func (n *Network) CorruptServer(chain, position int, c *mix.Corruption) error {
+	if chain < 0 || chain >= len(n.chains) {
+		return fmt.Errorf("core: no chain %d", chain)
+	}
+	if position < 0 || position >= n.chains[chain].Len() {
+		return fmt.Errorf("core: chain %d has no position %d", chain, position)
+	}
+	n.chains[chain].Servers[position].Corruption = c
+	return nil
+}
+
+// InjectSubmission adds a raw submission to a chain's next batch,
+// simulating a malicious user outside the registry.
+func (n *Network) InjectSubmission(chain int, sub onion.Submission) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injected[chain] = append(n.injected[chain], sub)
+}
+
+// Fetch downloads a user's mailbox for a round.
+func (n *Network) Fetch(u *client.User, round uint64) [][]byte {
+	return n.boxes.Fetch(round, u.Mailbox())
+}
+
+// FetchMailbox downloads a mailbox by identifier, the transport-layer
+// variant of Fetch.
+func (n *Network) FetchMailbox(round uint64, mailbox []byte) [][]byte {
+	return n.boxes.Fetch(round, mailbox)
+}
+
+// PruneBefore discards mailbox state older than the given round.
+func (n *Network) PruneBefore(round uint64) {
+	n.boxes.PruneBefore(round)
+}
+
+// RoundReport summarises one executed round.
+type RoundReport struct {
+	// Round is the executed round number.
+	Round uint64
+	// Delivered is the total number of mailbox messages delivered.
+	Delivered int
+	// HaltedChains lists chains that aborted after detecting server
+	// misbehaviour.
+	HaltedChains []int
+	// FailedChains lists chains skipped because a member server had
+	// crashed.
+	FailedChains []int
+	// BlamedServers lists (chain, position) pairs convicted by proof
+	// failure or the blame protocol.
+	BlamedServers [][2]int
+	// BlamedUsers lists mailbox identifiers of users convicted and
+	// removed; injected submissions appear as "injected:<chain>".
+	BlamedUsers []string
+	// DroppedInner counts messages dropped at inner decryption.
+	DroppedInner int
+	// OfflineCovered counts users whose covers were used this round.
+	OfflineCovered int
+	// BlameRounds counts blame protocol executions across chains.
+	BlameRounds int
+}
+
+// chainBatch pairs a chain's submissions with their submitters for
+// blame attribution.
+type chainBatch struct {
+	subs       []onion.Submission
+	submitters []string
+}
+
+// RunRound executes the upcoming round across every chain in
+// parallel and advances the round counter. Blamed users are removed
+// from the network before the next round.
+func (n *Network) RunRound() (*RoundReport, error) {
+	n.mu.Lock()
+	rho := n.round
+	report := &RoundReport{Round: rho}
+
+	// Build per-chain batches from online users; offline users are
+	// covered by last round's covers exactly once (§5.3.3).
+	batches := make([]chainBatch, len(n.chains))
+	for key, ru := range n.users {
+		if ru.removed {
+			continue
+		}
+		if ru.online {
+			out, err := ru.u.BuildRound(rho, n)
+			if err != nil {
+				n.mu.Unlock()
+				return nil, fmt.Errorf("core: user build failed: %w", err)
+			}
+			for _, cm := range out.Current {
+				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
+				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, key)
+			}
+			ru.cover = out.Cover
+			ru.coverRound = rho + 1
+			continue
+		}
+		if ru.cover != nil && ru.coverRound == rho {
+			for _, cm := range ru.cover {
+				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
+				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, key)
+			}
+			ru.cover = nil
+			ru.coversUsed = true
+			report.OfflineCovered++
+		}
+	}
+	report.OfflineCovered += n.collectExternalsLocked(rho, batches)
+	for chain, subs := range n.injected {
+		for _, sub := range subs {
+			batches[chain].subs = append(batches[chain].subs, sub)
+			batches[chain].submitters = append(batches[chain].submitters, fmt.Sprintf("injected:%d", chain))
+		}
+	}
+	n.injected = make(map[int][]onion.Submission)
+
+	failed := make(map[int]bool, len(n.failedServers))
+	for s := range n.failedServers {
+		failed[s] = true
+	}
+	n.mu.Unlock()
+
+	failedChains := make(map[int]bool)
+	for _, c := range n.topo.FailedChains(failed) {
+		failedChains[c] = true
+		report.FailedChains = append(report.FailedChains, c)
+	}
+
+	// Run every healthy chain in parallel — the heart of the design:
+	// chains are independent local mix-nets (§4.2).
+	type chainOutcome struct {
+		res *mix.RoundResult
+		err error
+	}
+	outcomes := make([]chainOutcome, len(n.chains))
+	var wg sync.WaitGroup
+	for c := range n.chains {
+		if failedChains[c] {
+			continue
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res, err := n.chains[c].RunRound(rho, client.LaneCurrent, batches[c].subs)
+			outcomes[c] = chainOutcome{res: res, err: err}
+		}(c)
+	}
+	wg.Wait()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for c := range n.chains {
+		if failedChains[c] {
+			continue
+		}
+		oc := outcomes[c]
+		if oc.err != nil {
+			return nil, fmt.Errorf("core: chain %d: %w", c, oc.err)
+		}
+		res := oc.res
+		report.DroppedInner += res.DroppedInner
+		report.BlameRounds += res.BlameRounds
+		if res.Halted {
+			report.HaltedChains = append(report.HaltedChains, c)
+		}
+		for _, s := range res.BlamedServers {
+			report.BlamedServers = append(report.BlamedServers, [2]int{c, s})
+		}
+		for _, idx := range res.BlamedUsers {
+			who := batches[c].submitters[idx]
+			report.BlamedUsers = append(report.BlamedUsers, who)
+			if ru, ok := n.users[who]; ok {
+				ru.removed = true
+			}
+		}
+		if !res.Halted {
+			d, _ := n.boxes.Deliver(rho, res.Delivered)
+			report.Delivered += d
+		}
+	}
+
+	n.round = rho + 1
+	if err := n.announceLocked(n.round + 1); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// announceLocked announces a round's inner keys while holding n.mu.
+func (n *Network) announceLocked(round uint64) error {
+	for _, c := range n.chains {
+		if err := c.BeginRound(round); err != nil {
+			return fmt.Errorf("core: announcing round %d: %w", round, err)
+		}
+	}
+	return nil
+}

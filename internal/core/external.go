@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+)
+
+// External users participate over the network transport
+// (internal/rpc) rather than through the in-process registry. The
+// network stores their submissions per round and their covers for the
+// following round, applying the same §5.3.3 churn rule: if an
+// external user misses a round for which she pre-submitted covers,
+// the covers run in her place exactly once.
+
+type externalUser struct {
+	current map[uint64][]client.ChainMessage
+	cover   map[uint64][]client.ChainMessage
+}
+
+// SubmitExternal queues a remote user's round output. current must
+// target the upcoming round; covers are stored for the round after.
+func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if out.Round != n.round {
+		return fmt.Errorf("core: submission for round %d but round %d is open", out.Round, n.round)
+	}
+	for _, cm := range append(out.Current, out.Cover...) {
+		if cm.Chain < 0 || cm.Chain >= len(n.chains) {
+			return fmt.Errorf("core: submission to unknown chain %d", cm.Chain)
+		}
+	}
+	if n.externals == nil {
+		n.externals = make(map[string]*externalUser)
+	}
+	eu, ok := n.externals[mailbox]
+	if !ok {
+		eu = &externalUser{
+			current: make(map[uint64][]client.ChainMessage),
+			cover:   make(map[uint64][]client.ChainMessage),
+		}
+		n.externals[mailbox] = eu
+	}
+	if _, dup := eu.current[out.Round]; dup {
+		return fmt.Errorf("core: duplicate submission for round %d", out.Round)
+	}
+	eu.current[out.Round] = out.Current
+	eu.cover[out.Round+1] = out.Cover
+	return nil
+}
+
+// collectExternalsLocked merges external users' traffic into the
+// round's batches; must be called with n.mu held. Returns the number
+// of external users covered by their pre-submitted covers.
+func (n *Network) collectExternalsLocked(rho uint64, batches []chainBatch) int {
+	covered := 0
+	for who, eu := range n.externals {
+		if msgs, ok := eu.current[rho]; ok {
+			for _, cm := range msgs {
+				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
+				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, who)
+			}
+		} else if covers, ok := eu.cover[rho]; ok {
+			for _, cm := range covers {
+				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
+				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, who)
+			}
+			covered++
+		}
+		// Drop state that can no longer be used.
+		for r := range eu.current {
+			if r <= rho {
+				delete(eu.current, r)
+			}
+		}
+		for r := range eu.cover {
+			if r <= rho {
+				delete(eu.cover, r)
+			}
+		}
+	}
+	return covered
+}

@@ -1,0 +1,147 @@
+// Package directory is the key-distribution functionality XRD
+// assumes exists (§3.1, §7): "a public key infrastructure that can be
+// used to securely share public keys of online servers and users with
+// all participants at any given time", e.g. a key transparency log.
+//
+// The directory maps human-readable names to user identity keys and
+// server endpoints. It is trusted for key distribution exactly as the
+// paper's assumed PKI is; everything else in the system re-validates
+// what it hands out (points are parsed, proofs are checked).
+package directory
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/group"
+)
+
+// ErrNotFound is returned for unknown names.
+var ErrNotFound = fmt.Errorf("directory: name not found")
+
+// ServerInfo describes a reachable deployment endpoint.
+type ServerInfo struct {
+	// Addr is the TLS endpoint ("host:port").
+	Addr string
+	// Role is "gateway", "mix" or "mailbox".
+	Role string
+}
+
+// Directory is a concurrency-safe name registry.
+type Directory struct {
+	mu      sync.RWMutex
+	users   map[string]group.Point
+	servers map[string]ServerInfo
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		users:   make(map[string]group.Point),
+		servers: make(map[string]ServerInfo),
+	}
+}
+
+// RegisterUser binds a name to an identity key. Re-registration with
+// a different key is rejected: key transparency systems make silent
+// key substitution detectable, which is the property XRD leans on.
+func (d *Directory) RegisterUser(name string, pk group.Point) error {
+	if pk.IsIdentity() {
+		return fmt.Errorf("directory: refusing identity element as a user key for %q", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if existing, ok := d.users[name]; ok {
+		if existing.Equal(pk) {
+			return nil
+		}
+		return fmt.Errorf("directory: %q already registered with a different key", name)
+	}
+	d.users[name] = pk
+	return nil
+}
+
+// LookupUser returns the identity key bound to a name.
+func (d *Directory) LookupUser(name string) (group.Point, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pk, ok := d.users[name]
+	if !ok {
+		return group.Point{}, fmt.Errorf("%w: user %q", ErrNotFound, name)
+	}
+	return pk, nil
+}
+
+// Users returns all registered user names, sorted.
+func (d *Directory) Users() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.users))
+	for n := range d.users {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterServer binds a server name to its endpoint.
+func (d *Directory) RegisterServer(name string, info ServerInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.servers[name] = info
+}
+
+// LookupServer returns a server's endpoint.
+func (d *Directory) LookupServer(name string) (ServerInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	info, ok := d.servers[name]
+	if !ok {
+		return ServerInfo{}, fmt.Errorf("%w: server %q", ErrNotFound, name)
+	}
+	return info, nil
+}
+
+// snapshot is the JSON form for Export/Import.
+type snapshot struct {
+	Users   map[string][]byte     `json:"users"`
+	Servers map[string]ServerInfo `json:"servers"`
+}
+
+// Export serialises the directory (e.g. to distribute to clients).
+func (d *Directory) Export() ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s := snapshot{Users: make(map[string][]byte), Servers: make(map[string]ServerInfo)}
+	for n, pk := range d.users {
+		s.Users[n] = pk.Bytes()
+	}
+	for n, info := range d.servers {
+		s.Servers[n] = info
+	}
+	return json.Marshal(s)
+}
+
+// Import loads a serialised directory, validating every key.
+func Import(data []byte) (*Directory, error) {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("directory: parsing snapshot: %w", err)
+	}
+	d := New()
+	for n, b := range s.Users {
+		pk, err := group.ParsePoint(b)
+		if err != nil {
+			return nil, fmt.Errorf("directory: user %q: %w", n, err)
+		}
+		if err := d.RegisterUser(n, pk); err != nil {
+			return nil, err
+		}
+	}
+	for n, info := range s.Servers {
+		d.RegisterServer(n, info)
+	}
+	return d, nil
+}

@@ -1,0 +1,133 @@
+package directory
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/group"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	d := New()
+	alice := group.GenerateBaseKeyPair()
+	if err := d.RegisterUser("alice", alice.Public); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.LookupUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(alice.Public) {
+		t.Fatal("lookup returned wrong key")
+	}
+	if _, err := d.LookupUser("bob"); err == nil {
+		t.Fatal("unknown user found")
+	}
+}
+
+func TestReRegistrationRules(t *testing.T) {
+	d := New()
+	alice := group.GenerateBaseKeyPair()
+	if err := d.RegisterUser("alice", alice.Public); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent with the same key.
+	if err := d.RegisterUser("alice", alice.Public); err != nil {
+		t.Fatalf("idempotent re-registration rejected: %v", err)
+	}
+	// Key substitution is rejected.
+	mallory := group.GenerateBaseKeyPair()
+	if err := d.RegisterUser("alice", mallory.Public); err == nil {
+		t.Fatal("key substitution accepted")
+	}
+}
+
+func TestRejectIdentityKey(t *testing.T) {
+	d := New()
+	if err := d.RegisterUser("zero", group.Identity()); err == nil {
+		t.Fatal("identity element accepted as a key")
+	}
+}
+
+func TestServers(t *testing.T) {
+	d := New()
+	d.RegisterServer("gateway-1", ServerInfo{Addr: "10.0.0.1:7000", Role: "gateway"})
+	info, err := d.LookupServer("gateway-1")
+	if err != nil || info.Addr != "10.0.0.1:7000" || info.Role != "gateway" {
+		t.Fatalf("lookup: %+v, %v", info, err)
+	}
+	if _, err := d.LookupServer("nope"); err == nil {
+		t.Fatal("unknown server found")
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	d := New()
+	for _, n := range []string{"carol", "alice", "bob"} {
+		if err := d.RegisterUser(n, group.GenerateBaseKeyPair().Public); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Users()
+	want := []string{"alice", "bob", "carol"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Users() = %v", got)
+		}
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	d := New()
+	alice := group.GenerateBaseKeyPair()
+	if err := d.RegisterUser("alice", alice.Public); err != nil {
+		t.Fatal(err)
+	}
+	d.RegisterServer("gw", ServerInfo{Addr: "h:1", Role: "gateway"})
+	blob, err := d.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Import(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := d2.LookupUser("alice")
+	if err != nil || !pk.Equal(alice.Public) {
+		t.Fatal("import lost alice's key")
+	}
+	if _, err := d2.LookupServer("gw"); err != nil {
+		t.Fatal("import lost the server")
+	}
+}
+
+func TestImportRejectsBadKeys(t *testing.T) {
+	if _, err := Import([]byte(`{"users":{"x":"AAec"},"servers":{}}`)); err == nil {
+		t.Fatal("bad key blob accepted")
+	}
+	if _, err := Import([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			pk := group.GenerateBaseKeyPair().Public
+			for j := 0; j < 50; j++ {
+				d.RegisterUser(name, pk)
+				d.LookupUser(name)
+				d.Users()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(d.Users()) != 8 {
+		t.Fatalf("users = %d", len(d.Users()))
+	}
+}

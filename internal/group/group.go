@@ -1,0 +1,357 @@
+// Package group provides the prime-order group used by all of XRD's
+// cryptography: Diffie-Hellman key exchange (§3.1), aggregate hybrid
+// shuffle blinding (§6), and the discrete-log NIZKs.
+//
+// The paper assumes "a group of prime order p with a generator g in
+// which discrete log is hard and the decisional Diffie-Hellman
+// assumption holds". We instantiate it with NIST P-256 from the
+// standard library. Scalars are integers modulo the group order;
+// points are curve points with the point at infinity as the identity.
+//
+// All types are immutable: operations return new values and never
+// modify their receivers, so values can be shared freely across the
+// many goroutines that make up a mix chain.
+package group
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+const (
+	// ScalarSize is the byte length of an encoded scalar.
+	ScalarSize = 32
+	// PointSize is the byte length of a compressed encoded point.
+	PointSize = 33
+)
+
+var (
+	curve = elliptic.P256()
+	// order is the prime order of the P-256 base-point group.
+	order = curve.Params().N
+
+	// ErrInvalidPoint is returned when decoding bytes that are not a
+	// valid compressed group element.
+	ErrInvalidPoint = errors.New("group: invalid point encoding")
+	// ErrInvalidScalar is returned when decoding bytes that are not a
+	// canonical scalar (>= group order).
+	ErrInvalidScalar = errors.New("group: invalid scalar encoding")
+)
+
+// Order returns a copy of the prime order of the group.
+func Order() *big.Int { return new(big.Int).Set(order) }
+
+// Scalar is an integer modulo the group order. The zero value is the
+// scalar 0.
+type Scalar struct {
+	v *big.Int // nil means 0
+}
+
+// Point is an element of the group. The zero value is the identity
+// (point at infinity).
+type Point struct {
+	x, y *big.Int // nil means identity
+}
+
+// NewScalar returns the scalar v mod the group order.
+func NewScalar(v int64) Scalar {
+	n := big.NewInt(v)
+	n.Mod(n, order)
+	return Scalar{n}
+}
+
+// ScalarFromBig reduces v modulo the group order.
+func ScalarFromBig(v *big.Int) Scalar {
+	n := new(big.Int).Mod(v, order)
+	return Scalar{n}
+}
+
+// RandomScalar returns a uniformly random non-zero scalar read from r.
+// It fails only if r fails.
+func RandomScalar(r io.Reader) (Scalar, error) {
+	for {
+		n, err := rand.Int(r, order)
+		if err != nil {
+			return Scalar{}, fmt.Errorf("group: sampling scalar: %w", err)
+		}
+		if n.Sign() != 0 {
+			return Scalar{n}, nil
+		}
+	}
+}
+
+// MustRandomScalar returns a uniformly random non-zero scalar from
+// crypto/rand, panicking if the system randomness source fails. It is
+// intended for key generation where such a failure is unrecoverable.
+func MustRandomScalar() Scalar {
+	s, err := RandomScalar(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseScalar decodes a 32-byte big-endian scalar. It rejects
+// non-canonical encodings (values >= the group order).
+func ParseScalar(b []byte) (Scalar, error) {
+	if len(b) != ScalarSize {
+		return Scalar{}, fmt.Errorf("%w: length %d", ErrInvalidScalar, len(b))
+	}
+	n := new(big.Int).SetBytes(b)
+	if n.Cmp(order) >= 0 {
+		return Scalar{}, ErrInvalidScalar
+	}
+	return Scalar{n}, nil
+}
+
+// HashToScalar maps arbitrary input domains to a scalar, used for
+// Fiat-Shamir challenges and for deterministic group assignment
+// (§5.3.1). The domain string separates unrelated uses.
+func HashToScalar(domain string, inputs ...[]byte) Scalar {
+	h := sha256.New()
+	h.Write([]byte(domain))
+	for _, in := range inputs {
+		var l [8]byte
+		putUint64(l[:], uint64(len(in)))
+		h.Write(l[:])
+		h.Write(in)
+	}
+	// A single SHA-256 output is 2^-128-close to uniform mod the
+	// 256-bit order; that bias is acceptable for challenges. For a
+	// cleaner distribution we fold two hashes into a 512-bit value.
+	d1 := h.Sum(nil)
+	h.Write([]byte("fold"))
+	d2 := h.Sum(nil)
+	n := new(big.Int).SetBytes(append(d1, d2...))
+	n.Mod(n, order)
+	return Scalar{n}
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func (s Scalar) big() *big.Int {
+	if s.v == nil {
+		return new(big.Int)
+	}
+	return s.v
+}
+
+// Bytes returns the canonical 32-byte big-endian encoding of s.
+func (s Scalar) Bytes() []byte {
+	b := make([]byte, ScalarSize)
+	s.big().FillBytes(b)
+	return b
+}
+
+// IsZero reports whether s is the zero scalar.
+func (s Scalar) IsZero() bool { return s.v == nil || s.v.Sign() == 0 }
+
+// Equal reports whether s and t represent the same scalar.
+func (s Scalar) Equal(t Scalar) bool { return s.big().Cmp(t.big()) == 0 }
+
+// Add returns s + t mod the group order.
+func (s Scalar) Add(t Scalar) Scalar {
+	n := new(big.Int).Add(s.big(), t.big())
+	n.Mod(n, order)
+	return Scalar{n}
+}
+
+// Sub returns s - t mod the group order.
+func (s Scalar) Sub(t Scalar) Scalar {
+	n := new(big.Int).Sub(s.big(), t.big())
+	n.Mod(n, order)
+	return Scalar{n}
+}
+
+// Mul returns s * t mod the group order.
+func (s Scalar) Mul(t Scalar) Scalar {
+	n := new(big.Int).Mul(s.big(), t.big())
+	n.Mod(n, order)
+	return Scalar{n}
+}
+
+// Neg returns -s mod the group order.
+func (s Scalar) Neg() Scalar {
+	n := new(big.Int).Neg(s.big())
+	n.Mod(n, order)
+	return Scalar{n}
+}
+
+// Inverse returns s^-1 mod the group order. It panics on the zero
+// scalar, which has no inverse; callers must never invert zero.
+func (s Scalar) Inverse() Scalar {
+	if s.IsZero() {
+		panic("group: inverse of zero scalar")
+	}
+	n := new(big.Int).ModInverse(s.big(), order)
+	return Scalar{n}
+}
+
+// String implements fmt.Stringer with a short hex prefix for logging.
+func (s Scalar) String() string { return fmt.Sprintf("scalar(%x…)", s.Bytes()[:4]) }
+
+// Generator returns the group generator g.
+func Generator() Point {
+	p := curve.Params()
+	return Point{new(big.Int).Set(p.Gx), new(big.Int).Set(p.Gy)}
+}
+
+// Identity returns the identity element (point at infinity).
+func Identity() Point { return Point{} }
+
+// Base returns g^s, the generator raised to scalar s.
+func Base(s Scalar) Point {
+	if s.IsZero() {
+		return Point{}
+	}
+	x, y := curve.ScalarBaseMult(s.Bytes())
+	return Point{x, y}
+}
+
+// ParsePoint decodes a compressed 33-byte point encoding as produced
+// by Bytes. The all-zero encoding decodes to the identity.
+func ParsePoint(b []byte) (Point, error) {
+	if len(b) != PointSize {
+		return Point{}, fmt.Errorf("%w: length %d", ErrInvalidPoint, len(b))
+	}
+	if isAllZero(b) {
+		return Point{}, nil
+	}
+	x, y := elliptic.UnmarshalCompressed(curve, b)
+	if x == nil {
+		return Point{}, ErrInvalidPoint
+	}
+	return Point{x, y}, nil
+}
+
+func isAllZero(b []byte) bool {
+	var acc byte
+	for _, c := range b {
+		acc |= c
+	}
+	return acc == 0
+}
+
+// IsIdentity reports whether p is the identity element.
+func (p Point) IsIdentity() bool { return p.x == nil }
+
+// Bytes returns the 33-byte compressed encoding of p. The identity
+// encodes as 33 zero bytes.
+func (p Point) Bytes() []byte {
+	if p.IsIdentity() {
+		return make([]byte, PointSize)
+	}
+	return elliptic.MarshalCompressed(curve, p.x, p.y)
+}
+
+// Equal reports whether p and q are the same group element.
+func (p Point) Equal(q Point) bool {
+	if p.IsIdentity() || q.IsIdentity() {
+		return p.IsIdentity() && q.IsIdentity()
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+// Add returns p + q (group operation).
+func (p Point) Add(q Point) Point {
+	if p.IsIdentity() {
+		return q
+	}
+	if q.IsIdentity() {
+		return p
+	}
+	// crypto/elliptic's affine Add mishandles doubling edge cases on
+	// some inputs only when given the identity, which we excluded.
+	x, y := curve.Add(p.x, p.y, q.x, q.y)
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return Point{}
+	}
+	return Point{x, y}
+}
+
+// Neg returns the inverse element -p.
+func (p Point) Neg() Point {
+	if p.IsIdentity() {
+		return p
+	}
+	y := new(big.Int).Neg(p.y)
+	y.Mod(y, curve.Params().P)
+	return Point{new(big.Int).Set(p.x), y}
+}
+
+// Mul returns p^s in multiplicative notation (scalar multiplication
+// [s]p). Mul implements the paper's DH(p, s) = p^s.
+func (p Point) Mul(s Scalar) Point {
+	if p.IsIdentity() || s.IsZero() {
+		return Point{}
+	}
+	x, y := curve.ScalarMult(p.x, p.y, s.Bytes())
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return Point{}
+	}
+	return Point{x, y}
+}
+
+// DH performs a Diffie-Hellman key exchange and returns the 32-byte
+// shared secret derived by hashing the compressed shared point. It
+// implements the paper's DH(g^a, b) = g^ab, mapped to a symmetric key.
+func DH(pub Point, priv Scalar) [32]byte {
+	return SharedSecret(pub.Mul(priv))
+}
+
+// SharedSecret maps an already-exchanged Diffie-Hellman point to the
+// symmetric secret, exactly as DH does internally. The blame protocol
+// uses it on keys revealed by other servers (§6.4 step 2).
+func SharedSecret(p Point) [32]byte {
+	return sha256.Sum256(p.Bytes())
+}
+
+// Product returns the product of all points (the sum in additive
+// notation). AHS verification works with products of users' DH keys
+// (∏ X_j, §6.3 step 3); an empty product is the identity.
+func Product(points []Point) Point {
+	acc := Point{}
+	for _, p := range points {
+		acc = acc.Add(p)
+	}
+	return acc
+}
+
+// String implements fmt.Stringer with a short hex prefix for logging.
+func (p Point) String() string {
+	if p.IsIdentity() {
+		return "point(identity)"
+	}
+	return fmt.Sprintf("point(%x…)", p.Bytes()[:5])
+}
+
+// KeyPair is a private scalar together with its public point. Which
+// base the public point is relative to depends on context: user and
+// inner keys use the generator g, while AHS blinding and mixing keys
+// chain off the previous server's blinding key (§6.1).
+type KeyPair struct {
+	Private Scalar
+	Public  Point
+}
+
+// GenerateKeyPair returns a fresh key pair with Public = base^Private.
+func GenerateKeyPair(base Point) KeyPair {
+	priv := MustRandomScalar()
+	return KeyPair{Private: priv, Public: base.Mul(priv)}
+}
+
+// GenerateBaseKeyPair returns a fresh key pair against the generator g.
+func GenerateBaseKeyPair() KeyPair {
+	priv := MustRandomScalar()
+	return KeyPair{Private: priv, Public: Base(priv)}
+}

@@ -1,0 +1,105 @@
+// Package kdf implements HKDF-SHA256 (RFC 5869) and the XRD key
+// schedule built on it.
+//
+// The paper's user protocol (Algorithm 2) derives directional
+// conversation keys with a KDF: s_B = KDF(s_AB, pk_B) encrypts
+// messages *to* Bob and s_A = KDF(s_AB, pk_A) encrypts messages *to*
+// Alice, where s_AB = DH(pk_B, sk_A) is the shared secret. Loopback
+// messages use a chain-specific key s_xA known only to the mailbox
+// owner. This package provides all three derivations.
+package kdf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// KeySize is the size of all derived symmetric keys.
+const KeySize = 32
+
+// Extract implements HKDF-Extract: PRK = HMAC-Hash(salt, ikm). A nil
+// salt is replaced by a string of hash-length zeros per RFC 5869.
+func Extract(salt, ikm []byte) []byte {
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// Expand implements HKDF-Expand, producing length bytes of output key
+// material from the pseudorandom key prk and context info. It panics
+// if length exceeds 255 hash lengths, mirroring the RFC bound; XRD
+// only derives short keys so this is an internal invariant.
+func Expand(prk, info []byte, length int) []byte {
+	if length > 255*sha256.Size {
+		panic(fmt.Sprintf("kdf: expand length %d exceeds RFC 5869 bound", length))
+	}
+	var (
+		out  = make([]byte, 0, length)
+		prev []byte
+	)
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(prev)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// Derive is the composed HKDF: Expand(Extract(salt, secret), info, n).
+func Derive(secret, salt, info []byte, n int) []byte {
+	return Expand(Extract(salt, secret), info, n)
+}
+
+// Key is a 32-byte symmetric key for the AEAD.
+type Key [KeySize]byte
+
+func deriveKey(secret []byte, domain string, context ...[]byte) Key {
+	info := make([]byte, 0, 64)
+	info = append(info, domain...)
+	for _, c := range context {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(c)))
+		info = append(info, l[:]...)
+		info = append(info, c...)
+	}
+	var k Key
+	copy(k[:], Derive(secret, []byte("xrd-v1"), info, KeySize))
+	return k
+}
+
+// ConversationKey derives the directional key s_R = KDF(s_AB, pk_R)
+// used to encrypt conversation messages addressed to the holder of
+// recipient public key pkR (Algorithm 2 step 1b).
+func ConversationKey(shared [32]byte, recipientPK []byte) Key {
+	return deriveKey(shared[:], "conversation", recipientPK)
+}
+
+// LoopbackKey derives the chain-specific loopback key s_xA from a
+// user's long-term loopback secret. Only the mailbox owner can derive
+// it, so loopback messages are indistinguishable from conversation
+// messages to everyone else (§5.3.2 step 1a).
+func LoopbackKey(userSecret [32]byte, chain int) Key {
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], uint64(chain))
+	return deriveKey(userSecret[:], "loopback", c[:])
+}
+
+// OnionKey derives the per-layer AEAD key from a Diffie-Hellman shared
+// secret during onion encryption and mixing (Algorithm 1/§6.3 step 1).
+func OnionKey(shared [32]byte) Key {
+	return deriveKey(shared[:], "onion")
+}
+
+// InnerKey derives the AEAD key protecting the inner ciphertext of an
+// AHS double envelope from DH(∏ ipk_i, y) (§6.2).
+func InnerKey(shared [32]byte) Key {
+	return deriveKey(shared[:], "inner")
+}

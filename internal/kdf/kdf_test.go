@@ -1,0 +1,137 @@
+package kdf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex in test: %v", err)
+	}
+	return b
+}
+
+// RFC 5869 Appendix A test vectors for HKDF-SHA256.
+
+func TestRFC5869Case1(t *testing.T) {
+	ikm := unhex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt := unhex(t, "000102030405060708090a0b0c")
+	info := unhex(t, "f0f1f2f3f4f5f6f7f8f9")
+	wantPRK := unhex(t, "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM := unhex(t, "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := Extract(salt, ikm)
+	if !bytes.Equal(prk, wantPRK) {
+		t.Fatalf("PRK = %x, want %x", prk, wantPRK)
+	}
+	okm := Expand(prk, info, 42)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Fatalf("OKM = %x, want %x", okm, wantOKM)
+	}
+}
+
+func TestRFC5869Case2LongInputs(t *testing.T) {
+	var ikm, salt, info []byte
+	for i := 0x00; i <= 0x4f; i++ {
+		ikm = append(ikm, byte(i))
+	}
+	for i := 0x60; i <= 0xaf; i++ {
+		salt = append(salt, byte(i))
+	}
+	for i := 0xb0; i <= 0xff; i++ {
+		info = append(info, byte(i))
+	}
+	wantOKM := unhex(t, "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"+
+		"59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"+
+		"cc30c58179ec3e87c14c01d5c1f3434f1d87")
+	okm := Derive(ikm, salt, info, 82)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Fatalf("OKM = %x, want %x", okm, wantOKM)
+	}
+}
+
+func TestRFC5869Case3NoSaltNoInfo(t *testing.T) {
+	ikm := unhex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	wantOKM := unhex(t, "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	okm := Derive(ikm, nil, nil, 42)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Fatalf("OKM = %x, want %x", okm, wantOKM)
+	}
+}
+
+func TestExpandLengths(t *testing.T) {
+	prk := Extract(nil, []byte("secret"))
+	for _, n := range []int{1, 31, 32, 33, 64, 100, 255} {
+		out := Expand(prk, []byte("info"), n)
+		if len(out) != n {
+			t.Errorf("Expand length %d produced %d bytes", n, len(out))
+		}
+	}
+	// Prefix property: shorter outputs are prefixes of longer ones.
+	long := Expand(prk, []byte("info"), 64)
+	short := Expand(prk, []byte("info"), 32)
+	if !bytes.Equal(long[:32], short) {
+		t.Fatal("HKDF outputs are not prefix-consistent")
+	}
+}
+
+func TestExpandTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Expand beyond RFC bound did not panic")
+		}
+	}()
+	Expand(make([]byte, 32), nil, 255*32+1)
+}
+
+func TestConversationKeyDirectionality(t *testing.T) {
+	var shared [32]byte
+	copy(shared[:], []byte("shared-secret-between-alice-bob!"))
+	toBob := ConversationKey(shared, []byte("pk-bob"))
+	toAlice := ConversationKey(shared, []byte("pk-alice"))
+	if toBob == toAlice {
+		t.Fatal("directional conversation keys collide")
+	}
+	again := ConversationKey(shared, []byte("pk-bob"))
+	if toBob != again {
+		t.Fatal("conversation key derivation is not deterministic")
+	}
+}
+
+func TestLoopbackKeyPerChain(t *testing.T) {
+	var secret [32]byte
+	secret[0] = 1
+	k1 := LoopbackKey(secret, 1)
+	k2 := LoopbackKey(secret, 2)
+	if k1 == k2 {
+		t.Fatal("loopback keys for different chains collide")
+	}
+	var other [32]byte
+	other[0] = 2
+	if LoopbackKey(other, 1) == k1 {
+		t.Fatal("loopback keys for different users collide")
+	}
+}
+
+func TestDomainSeparationAcrossKeyTypes(t *testing.T) {
+	var s [32]byte
+	copy(s[:], []byte("identical-input-secret-material!"))
+	onion := OnionKey(s)
+	inner := InnerKey(s)
+	conv := ConversationKey(s, nil)
+	if onion == inner || onion == conv || inner == conv {
+		t.Fatal("key schedule domains are not separated")
+	}
+}
+
+func BenchmarkDerive32(b *testing.B) {
+	secret := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Derive(secret, nil, []byte("bench"), 32)
+	}
+}

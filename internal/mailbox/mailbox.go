@@ -1,0 +1,153 @@
+// Package mailbox implements XRD's mailbox servers (§5.1).
+//
+// Every user has a mailbox publicly associated with her, identified
+// by her public key. Mailbox servers expose put and get and are
+// trusted only for availability, never for privacy: by the time a
+// message reaches a mailbox its origin has been hidden by a mix chain
+// and its content is encrypted for the mailbox owner.
+//
+// A Cluster shards mailboxes across several servers by hashing the
+// mailbox identifier, like different users having different e-mail
+// providers.
+package mailbox
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/onion"
+)
+
+// Server is a single mailbox server holding per-round message
+// buckets for the mailboxes it manages.
+type Server struct {
+	mu sync.RWMutex
+	// boxes[round][mailbox] is the list of messages delivered to the
+	// mailbox in that round.
+	boxes map[uint64]map[string][][]byte
+}
+
+// NewServer returns an empty mailbox server.
+func NewServer() *Server {
+	return &Server{boxes: make(map[uint64]map[string][][]byte)}
+}
+
+// Put appends a message to a mailbox for a round. The message is
+// stored as given; mailbox servers never inspect contents.
+func (s *Server) Put(round uint64, mailbox []byte, msg []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rb, ok := s.boxes[round]
+	if !ok {
+		rb = make(map[string][][]byte)
+		s.boxes[round] = rb
+	}
+	rb[string(mailbox)] = append(rb[string(mailbox)], append([]byte(nil), msg...))
+}
+
+// Get returns all messages delivered to a mailbox in a round; the
+// owner downloads all of them at the end of the round (§4 step 4).
+func (s *Server) Get(round uint64, mailbox []byte) [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	msgs := s.boxes[round][string(mailbox)]
+	out := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		out[i] = append([]byte(nil), m...)
+	}
+	return out
+}
+
+// CountForRound returns the total number of messages stored for a
+// round, for capacity accounting and tests.
+func (s *Server) CountForRound(round uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, msgs := range s.boxes[round] {
+		n += len(msgs)
+	}
+	return n
+}
+
+// PruneBefore drops all rounds older than the given round, bounding
+// memory across a long-running deployment.
+func (s *Server) PruneBefore(round uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r := range s.boxes {
+		if r < round {
+			delete(s.boxes, r)
+		}
+	}
+}
+
+// Cluster shards mailboxes over several servers by identifier hash,
+// mirroring "different users' mailboxes can be maintained by
+// different servers" (§5.1).
+type Cluster struct {
+	servers []*Server
+}
+
+// NewCluster creates a cluster of n fresh mailbox servers.
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mailbox: cluster needs at least one server, got %d", n)
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.servers = append(c.servers, NewServer())
+	}
+	return c, nil
+}
+
+// NumServers returns the cluster size.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// serverFor routes a mailbox identifier to its home server.
+func (c *Cluster) serverFor(mailbox []byte) *Server {
+	h := sha256.Sum256(mailbox)
+	idx := binary.BigEndian.Uint64(h[:8]) % uint64(len(c.servers))
+	return c.servers[idx]
+}
+
+// Deliver routes a batch of mix-chain output messages to their
+// mailboxes (Algorithm 1 step 2b: "send the message to the mailbox
+// server that manages mailbox pk_u"). Malformed messages are counted
+// and dropped; mix chains only emit well-formed ones.
+func (c *Cluster) Deliver(round uint64, msgs [][]byte) (delivered, malformed int) {
+	for _, m := range msgs {
+		rcpt, err := onion.Recipient(m)
+		if err != nil {
+			malformed++
+			continue
+		}
+		c.serverFor(rcpt).Put(round, rcpt, m)
+		delivered++
+	}
+	return delivered, malformed
+}
+
+// Fetch returns the round's messages for a mailbox from its home
+// server.
+func (c *Cluster) Fetch(round uint64, mailbox []byte) [][]byte {
+	return c.serverFor(mailbox).Get(round, mailbox)
+}
+
+// TotalForRound sums stored messages across all servers for a round.
+func (c *Cluster) TotalForRound(round uint64) int {
+	n := 0
+	for _, s := range c.servers {
+		n += s.CountForRound(round)
+	}
+	return n
+}
+
+// PruneBefore prunes old rounds on every server.
+func (c *Cluster) PruneBefore(round uint64) {
+	for _, s := range c.servers {
+		s.PruneBefore(round)
+	}
+}

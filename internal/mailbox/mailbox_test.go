@@ -1,0 +1,198 @@
+package mailbox
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/kdf"
+	"repro/internal/onion"
+)
+
+func TestPutGet(t *testing.T) {
+	s := NewServer()
+	box := []byte("mailbox-alice")
+	s.Put(1, box, []byte("m1"))
+	s.Put(1, box, []byte("m2"))
+	s.Put(2, box, []byte("m3"))
+
+	got := s.Get(1, box)
+	if len(got) != 2 || string(got[0]) != "m1" || string(got[1]) != "m2" {
+		t.Fatalf("round 1: %q", got)
+	}
+	if got := s.Get(2, box); len(got) != 1 || string(got[0]) != "m3" {
+		t.Fatalf("round 2: %q", got)
+	}
+	if got := s.Get(3, box); len(got) != 0 {
+		t.Fatalf("round 3 should be empty, got %d", len(got))
+	}
+	if got := s.Get(1, []byte("mailbox-bob")); len(got) != 0 {
+		t.Fatalf("bob's box should be empty, got %d", len(got))
+	}
+}
+
+func TestGetReturnsCopies(t *testing.T) {
+	s := NewServer()
+	box := []byte("box")
+	s.Put(1, box, []byte("original"))
+	got := s.Get(1, box)
+	got[0][0] = 'X'
+	again := s.Get(1, box)
+	if string(again[0]) != "original" {
+		t.Fatal("mailbox contents were mutated through a Get result")
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	s := NewServer()
+	box := []byte("box")
+	for r := uint64(1); r <= 5; r++ {
+		s.Put(r, box, []byte{byte(r)})
+	}
+	s.PruneBefore(4)
+	for r := uint64(1); r <= 3; r++ {
+		if len(s.Get(r, box)) != 0 {
+			t.Fatalf("round %d not pruned", r)
+		}
+	}
+	if len(s.Get(4, box)) != 1 || len(s.Get(5, box)) != 1 {
+		t.Fatal("recent rounds were pruned")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := NewServer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			box := []byte(fmt.Sprintf("box-%d", w%4))
+			for i := 0; i < 100; i++ {
+				s.Put(1, box, []byte{byte(i)})
+				s.Get(1, box)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total := s.CountForRound(1); total != 800 {
+		t.Fatalf("stored %d messages, want 800", total)
+	}
+}
+
+func TestClusterRejectsEmpty(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+func mailboxMsg(t *testing.T, recipient group.Point, round uint64) []byte {
+	t.Helper()
+	var secret [32]byte
+	key := kdf.ConversationKey(secret, recipient.Bytes())
+	m, err := onion.SealMailboxMessage(aead.ChaCha20Poly1305(), key, aead.RoundNonce(round, 0),
+		recipient, onion.Payload{Kind: onion.KindLoopback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClusterDeliverAndFetch(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const users = 20
+	recipients := make([]group.Point, users)
+	msgs := make([][]byte, users)
+	for i := range recipients {
+		recipients[i] = group.Base(group.NewScalar(int64(i + 1)))
+		msgs[i] = mailboxMsg(t, recipients[i], 1)
+	}
+	delivered, malformed := c.Deliver(1, msgs)
+	if delivered != users || malformed != 0 {
+		t.Fatalf("delivered=%d malformed=%d", delivered, malformed)
+	}
+	if c.TotalForRound(1) != users {
+		t.Fatalf("total = %d", c.TotalForRound(1))
+	}
+	for i, r := range recipients {
+		got := c.Fetch(1, r.Bytes())
+		if len(got) != 1 || !bytes.Equal(got[0], msgs[i]) {
+			t.Fatalf("user %d: fetch mismatch", i)
+		}
+	}
+}
+
+func TestClusterDropsMalformed(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, malformed := c.Deliver(1, [][]byte{[]byte("short"), nil})
+	if delivered != 0 || malformed != 2 {
+		t.Fatalf("delivered=%d malformed=%d", delivered, malformed)
+	}
+}
+
+func TestClusterShardsAcrossServers(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[*Server]int)
+	for i := 0; i < 200; i++ {
+		box := []byte(fmt.Sprintf("mailbox-%d", i))
+		counts[c.serverFor(box)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 servers used", len(counts))
+	}
+	for s, n := range counts {
+		if n < 20 {
+			t.Fatalf("server %p has only %d mailboxes; sharding is skewed", s, n)
+		}
+	}
+}
+
+func TestClusterStableRouting(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := []byte("stable-mailbox")
+	s1 := c.serverFor(box)
+	for i := 0; i < 10; i++ {
+		if c.serverFor(box) != s1 {
+			t.Fatal("mailbox routing is not stable")
+		}
+	}
+}
+
+func BenchmarkDeliver1000(b *testing.B) {
+	c, err := NewCluster(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([][]byte, 1000)
+	for i := range msgs {
+		r := group.Base(group.NewScalar(int64(i + 1)))
+		var secret [32]byte
+		key := kdf.ConversationKey(secret, r.Bytes())
+		m, err := onion.SealMailboxMessage(aead.ChaCha20Poly1305(), key, aead.RoundNonce(1, 0),
+			r, onion.Payload{Kind: onion.KindLoopback})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs[i] = m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Deliver(uint64(i+2), msgs)
+	}
+}

@@ -1,0 +1,77 @@
+package mix
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/aead"
+	"repro/internal/onion"
+)
+
+// RunRoundBaseline executes Algorithm 1: each server decrypts one
+// onion layer with its plain mixing key and shuffles, with no
+// verification of any kind. This is the §5 base design, secure only
+// against passive adversaries; it exists for the
+// AHS-versus-baseline ablation benchmark and to measure what active
+// attack protection costs.
+//
+// Submissions are built with onion.WrapBaseline against the chain's
+// BaselineKeys. Messages that fail to decrypt are silently dropped,
+// exactly the behaviour AHS exists to prevent.
+func (c *Chain) RunRoundBaseline(round uint64, lane byte, cts [][]byte) ([][]byte, error) {
+	nonce := aead.RoundNonce(round, lane)
+	cur := cts
+	for _, s := range c.Servers {
+		next := make([][]byte, len(cur))
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(cur) {
+			workers = len(cur)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		stride := (len(cur) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*stride, (w+1)*stride
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for j := lo; j < hi; j++ {
+					pt, err := onion.PeelBaseline(c.scheme, s.baselineKey.Private, nonce, cur[j])
+					if err != nil {
+						continue // dropped silently; no defence in baseline mode
+					}
+					next[j] = pt
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		// Compact and shuffle.
+		kept := next[:0]
+		for _, pt := range next {
+			if pt != nil {
+				kept = append(kept, pt)
+			}
+		}
+		perm := randomPermutation(len(kept))
+		shuffled := make([][]byte, len(kept))
+		for p, j := range perm {
+			shuffled[p] = kept[j]
+		}
+		cur = shuffled
+	}
+	for _, m := range cur {
+		if len(m) != onion.MailboxMessageSize {
+			return nil, fmt.Errorf("mix: baseline output has length %d, want %d", len(m), onion.MailboxMessageSize)
+		}
+	}
+	return cur, nil
+}

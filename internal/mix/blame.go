@@ -1,0 +1,161 @@
+package mix
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/nizk"
+	"repro/internal/onion"
+)
+
+// The blame protocol (§6.4) runs when an authenticated decryption
+// fails at some server h. For each problem ciphertext, the upstream
+// servers reveal, in order, (a) the pre-blinding Diffie-Hellman key
+// of that message with a DLEQ proof that their blinding was applied
+// correctly, and (b) the exchanged decryption key with a DLEQ proof
+// it matches their mixing key, letting everyone replay the decryption
+// chain from the user's submitted ciphertext down to the problem
+// ciphertext. If the whole chain checks out, the submitting user is
+// malicious and is removed; if any server's reveal fails to verify,
+// that server is blamed and the round halts with the inner keys
+// destroyed, so nothing about honest users leaks either way.
+
+// blameVerdict is the outcome of one blame protocol execution.
+type blameVerdict struct {
+	// Servers are blamed chain positions (at most one per execution
+	// in practice; the first failure stops the walk).
+	Servers []int
+	// Users are blamed original submission indices.
+	Users []int
+}
+
+// blameContext binds blame reveals to round, chain, server, message
+// and step, so reveals cannot be replayed across messages.
+func blameContext(round uint64, chain, server, msg int, step string) string {
+	return fmt.Sprintf("xrd/blame/round=%d/chain=%d/server=%d/msg=%d/%s", round, chain, server, msg, step)
+}
+
+// blameReveal is one server's disclosure for one problem message.
+type blameReveal struct {
+	// Xin is the message's Diffie-Hellman key as it entered the
+	// server (step 1 of §6.4).
+	Xin group.Point
+	// BlindProof shows log_Xin(Xout) = log_bpkPrev(bpk) = bsk.
+	BlindProof nizk.Proof
+	// K is the exchanged decryption key Xin^msk (step 2).
+	K group.Point
+	// KeyProof shows log_Xin(K) = log_bpkPrev(mpk) = msk.
+	KeyProof nizk.Proof
+}
+
+// revealFor produces the server's blame disclosure for the message at
+// input position pos. A corrupt server cannot do better than reveal
+// its true keys — any fabricated reveal fails the DLEQ checks, which
+// is what the verdict relies on.
+func (s *Server) revealFor(round uint64, msg int, pos int) blameReveal {
+	xin := s.lastIn[pos].DHKey
+	return blameReveal{
+		Xin:        xin,
+		BlindProof: nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "blind"), xin, s.bpkPrev, s.bsk),
+		K:          xin.Mul(s.msk),
+		KeyProof:   nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "key"), xin, s.bpkPrev, s.msk),
+	}
+}
+
+// runBlame executes the blame protocol at accusing server h for every
+// failed working index. st carries the working set and lineage
+// anchors (see roundState).
+func (c *Chain) runBlame(round uint64, nonce [aead.NonceSize]byte, h int, failed []int, st *roundState) blameVerdict {
+	var v blameVerdict
+	blamedServers := make(map[int]bool)
+	for _, j := range failed {
+		sv := c.blameOne(round, nonce, h, j, st)
+		for _, b := range sv.Servers {
+			if !blamedServers[b] {
+				blamedServers[b] = true
+				v.Servers = append(v.Servers, b)
+			}
+		}
+		v.Users = append(v.Users, sv.Users...)
+	}
+	return v
+}
+
+// blameOne traces a single problem ciphertext. j is the index into
+// the accusing server's current input (st.envs).
+func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st *roundState) blameVerdict {
+	accused := st.envs[j]
+
+	// Trace the message's position at every upstream server through
+	// the permutations (revealed per-message in the real protocol).
+	// st.slot anchors the accusing server's frame in the previous
+	// server's output; each hop maps an output position through the
+	// server's permutation to its input, and through its input slot
+	// map (non-identity after blame removals) to the server before.
+	inPos := make([]int, h)
+	outPos := make([]int, h)
+	p := st.slot[j]
+	for i := h - 1; i >= 0; i-- {
+		outPos[i] = p
+		inPos[i] = c.Servers[i].lastOut2In[p]
+		if i > 0 {
+			p = c.Servers[i].lastInSlots[inPos[i]]
+		}
+	}
+
+	// Steps 1-3: walk from the first server down to h, replaying the
+	// decryption chain from the submitted ciphertext.
+	for i := 0; i < h; i++ {
+		s := c.Servers[i]
+		rev := s.revealFor(round, j, inPos[i])
+		xout := s.lastOut[outPos[i]].DHKey
+
+		// (1) The blinding was applied correctly to this message.
+		if err := nizk.VerifyDleq(blameContext(round, c.ID, i, j, "blind"),
+			rev.Xin, xout, s.bpkPrev, s.bpk, rev.BlindProof); err != nil {
+			return blameVerdict{Servers: []int{i}}
+		}
+		// (2) The revealed decryption key matches the mixing key.
+		if err := nizk.VerifyDleq(blameContext(round, c.ID, i, j, "key"),
+			rev.Xin, rev.K, s.bpkPrev, s.mpk, rev.KeyProof); err != nil {
+			return blameVerdict{Servers: []int{i}}
+		}
+		// (3a) First server: the input must be the user's submitted
+		// ciphertext (the outer ciphertext is the commitment to all
+		// layers).
+		if i == 0 {
+			orig, ok := st.subs[st.origin[j]]
+			if !ok || !bytes.Equal(s.lastIn[inPos[0]].Ct, orig.Ct) || !s.lastIn[inPos[0]].DHKey.Equal(orig.DHKey) {
+				// The first server substituted the input set after
+				// agreement — blame it.
+				return blameVerdict{Servers: []int{0}}
+			}
+		}
+		// (3b) Decrypting the input with the revealed key must yield
+		// exactly the ciphertext the server forwarded.
+		got, err := onion.OpenWithRevealedKey(c.scheme, rev.K, nonce, s.lastIn[inPos[i]].Ct)
+		if err != nil || !bytes.Equal(got, s.lastOut[outPos[i]].Ct) {
+			return blameVerdict{Servers: []int{i}}
+		}
+	}
+
+	// Step 4: the accusing server reveals its own exchanged key and
+	// everyone checks the decryption really fails. If it succeeds the
+	// accusation was false and the accuser is blamed; honest users
+	// can never be convicted (§6.4 analysis).
+	acc := c.Servers[h]
+	k := accused.DHKey.Mul(acc.msk)
+	keyProof := nizk.ProveDleq(blameContext(round, c.ID, h, j, "accuse"), accused.DHKey, acc.bpkPrev, acc.msk)
+	if err := nizk.VerifyDleq(blameContext(round, c.ID, h, j, "accuse"),
+		accused.DHKey, k, acc.bpkPrev, acc.mpk, keyProof); err != nil {
+		return blameVerdict{Servers: []int{h}}
+	}
+	if _, err := onion.OpenWithRevealedKey(c.scheme, k, nonce, accused.Ct); err == nil {
+		return blameVerdict{Servers: []int{h}}
+	}
+	// The full chain verified and the ciphertext indeed fails: the
+	// submitting user is malicious.
+	return blameVerdict{Users: []int{st.origin[j]}}
+}

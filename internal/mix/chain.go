@@ -1,0 +1,393 @@
+package mix
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/nizk"
+	"repro/internal/onion"
+)
+
+func newDigest() hash.Hash { return sha256.New() }
+
+// Chain is one anytrust mix chain of k servers (§5.2). It exposes the
+// public key material users need and executes rounds, simulating the
+// mutual proof verification every member performs. One honest member
+// suffices for the guarantees; the Chain verifies everything, which
+// is exactly what the honest server would do.
+type Chain struct {
+	// ID is the chain index within the network.
+	ID int
+	// Servers are the members in mixing order.
+	Servers []*Server
+
+	scheme aead.Scheme
+	// lastBegun is the highest round BeginRound has seen.
+	lastBegun uint64
+	// innerAggs maps round -> ∏ ipk_i. Round ρ+1's aggregate is
+	// published during round ρ so users can build cover messages
+	// (§5.3.3).
+	innerAggs map[uint64]group.Point
+}
+
+// Params is the public key material users need to submit to a chain.
+type Params struct {
+	ChainID int
+	// MixKeys are the AHS mixing keys mpk_i in order (§6.1).
+	MixKeys []group.Point
+	// BlindKeys are the blinding keys bpk_i in order.
+	BlindKeys []group.Point
+	// BaselineKeys are the plain g^msk keys for Algorithm 1 mode.
+	BaselineKeys []group.Point
+	// InnerAggregate is ∏ ipk_i for the current round (AHS inner
+	// envelope key).
+	InnerAggregate group.Point
+	// Round is the round InnerAggregate is valid for.
+	Round uint64
+}
+
+// NewChain creates a chain of k freshly keyed servers and verifies
+// every member's key-knowledge proofs.
+func NewChain(id, k int, scheme aead.Scheme) (*Chain, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mix: chain needs at least one server, got %d", k)
+	}
+	c := &Chain{ID: id, scheme: scheme}
+	base := group.Generator()
+	for i := 0; i < k; i++ {
+		s := newServer(id, i, base, scheme)
+		if err := s.VerifyKeys(); err != nil {
+			return nil, err
+		}
+		c.Servers = append(c.Servers, s)
+		base = s.bpk
+	}
+	return c, nil
+}
+
+// Len returns k, the number of servers in the chain.
+func (c *Chain) Len() int { return len(c.Servers) }
+
+// BeginRound ensures every server has an inner key for the round,
+// verifies the inner-key proofs, and publishes the aggregate inner
+// key. It is idempotent per round; the coordinator announces round
+// ρ+1 during round ρ so users can build covers.
+func (c *Chain) BeginRound(round uint64) error {
+	if c.innerAggs == nil {
+		c.innerAggs = make(map[uint64]group.Point)
+	}
+	if _, ok := c.innerAggs[round]; ok {
+		if round > c.lastBegun {
+			c.lastBegun = round
+		}
+		return nil
+	}
+	agg := group.Identity()
+	for _, s := range c.Servers {
+		ipk, proof := s.BeginRound(round)
+		if err := nizk.VerifyDlog(innerKeyContext(c.ID, s.Index, round), group.Generator(), ipk, proof); err != nil {
+			return fmt.Errorf("mix: chain %d: inner key proof of server %d: %w", c.ID, s.Index, err)
+		}
+		agg = agg.Add(ipk)
+	}
+	if round > c.lastBegun {
+		c.lastBegun = round
+	}
+	c.innerAggs[round] = agg
+	return nil
+}
+
+// ParamsFor returns the chain's public parameters for a round whose
+// inner keys have been announced.
+func (c *Chain) ParamsFor(round uint64) (Params, error) {
+	agg, ok := c.innerAggs[round]
+	if !ok {
+		return Params{}, fmt.Errorf("mix: chain %d has not begun round %d", c.ID, round)
+	}
+	p := Params{ChainID: c.ID, InnerAggregate: agg, Round: round}
+	for _, s := range c.Servers {
+		p.MixKeys = append(p.MixKeys, s.mpk)
+		p.BlindKeys = append(p.BlindKeys, s.bpk)
+		p.BaselineKeys = append(p.BaselineKeys, s.baselineKey.Public)
+	}
+	return p, nil
+}
+
+// Params returns the public parameters for the most recently begun
+// round.
+func (c *Chain) Params() Params {
+	p, err := c.ParamsFor(c.lastBegun)
+	if err != nil {
+		panic(err) // unreachable: lastBegun is always announced
+	}
+	return p
+}
+
+// RoundResult is the outcome of running one round on a chain.
+type RoundResult struct {
+	// Delivered are the plaintext mailbox messages (for the mailbox
+	// servers) in shuffled order. Empty if the chain halted.
+	Delivered [][]byte
+	// Halted reports that mixing stopped with no delivery because a
+	// server misbehaved (§6.3: "the protocol halts with no privacy
+	// leakage").
+	Halted bool
+	// BlamedServers are chain positions whose proofs failed.
+	BlamedServers []int
+	// BlamedUsers are indices into the submission slice of users
+	// identified as malicious by proof failure at submission or by
+	// the blame protocol (§6.4).
+	BlamedUsers []int
+	// DroppedInner counts messages whose inner envelope failed to
+	// open after a verified shuffle (malformed by their sender; their
+	// origin is untraceable by design and they are simply dropped).
+	DroppedInner int
+	// BlameRounds counts how many blame protocol executions ran.
+	BlameRounds int
+}
+
+// roundState tracks the working set between mixing steps.
+type roundState struct {
+	// envs are the envelopes entering the current server.
+	envs []onion.Envelope
+	// origin[j] is the original submission index of envs[j]. In the
+	// distributed protocol this mapping is secret (held piecewise in
+	// the servers' permutations) and only revealed per message by the
+	// blame protocol; the orchestrator tracks it for attribution and
+	// reporting, reading the same permutations blame would reveal.
+	origin []int
+	// slot[j] is envs[j]'s position in the current server's original
+	// (pre-blame-removal) input, i.e. in the previous server's stored
+	// output. It anchors upstream walks after removals.
+	slot []int
+	// subs are the originally submitted, proof-checked submissions,
+	// indexed by original submission index, for the blame protocol's
+	// step 3 ("check c_1 matches the user submitted ciphertext").
+	subs map[int]onion.Submission
+}
+
+// RunRound executes one full AHS round (§6.3) over the submissions:
+// submission proof checks, input agreement, k mixing steps each
+// verified by all members, blame on decryption failures (§6.4), inner
+// key reveal and inner decryption.
+//
+// The returned error indicates an orchestration failure (wrong round,
+// internal corruption); protocol misbehaviour is reported in
+// RoundResult instead.
+func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*RoundResult, error) {
+	if _, ok := c.innerAggs[round]; !ok {
+		return nil, fmt.Errorf("mix: chain %d asked to run round %d before its keys were announced", c.ID, round)
+	}
+	nonce := aead.RoundNonce(round, lane)
+	res := &RoundResult{}
+
+	// Submission proof checks (§6.2): an invalid PoK identifies its
+	// sender immediately.
+	st := &roundState{subs: make(map[int]onion.Submission, len(subs))}
+	for i, sub := range subs {
+		if err := onion.VerifySubmission(sub, round, c.ID); err != nil {
+			res.BlamedUsers = append(res.BlamedUsers, i)
+			continue
+		}
+		st.envs = append(st.envs, sub.Envelope)
+		st.origin = append(st.origin, i)
+		st.subs[i] = sub
+	}
+
+	// Input agreement (§6.3): all servers hash the accepted input set
+	// and compare. In-process every server sees the same slice; the
+	// digest is recomputed per server to mirror the distributed check.
+	accepted := make([]onion.Submission, len(st.envs))
+	for j := range st.envs {
+		accepted[j] = st.subs[st.origin[j]]
+	}
+	want := InputDigest(round, c.ID, accepted)
+	for range c.Servers {
+		if InputDigest(round, c.ID, accepted) != want {
+			return nil, fmt.Errorf("mix: chain %d: input agreement failed", c.ID)
+		}
+	}
+
+	if len(st.envs) == 0 {
+		// Nothing to mix; an empty product cannot be certified (the
+		// identity element is rejected by the DLEQ), and there is
+		// nothing to protect either.
+		return res, nil
+	}
+
+	// Mixing steps.
+	i := 0
+	epochs := make([]int, len(c.Servers))
+	for i < len(c.Servers) {
+		s := c.Servers[i]
+		st.slot = identitySlots(len(st.envs), st.slot, st.slot == nil)
+		mr, err := s.Mix(round, nonce, st.envs)
+		if err != nil {
+			return nil, err
+		}
+		if len(mr.Failed) > 0 {
+			res.BlameRounds++
+			verdict := c.runBlame(round, nonce, i, mr.Failed, st)
+			res.BlamedServers = append(res.BlamedServers, verdict.Servers...)
+			res.BlamedUsers = append(res.BlamedUsers, verdict.Users...)
+			if len(verdict.Servers) > 0 {
+				// A server cheated: the honest members delete their
+				// inner keys and the round aborts with nothing
+				// revealed (§6.4).
+				res.Halted = true
+				return res, nil
+			}
+			// All bad messages traced to users: remove them and have
+			// the upstream servers re-certify the surviving subset
+			// (§6.4 closing paragraph), then retry this server.
+			removed := make(map[int]bool, len(mr.Failed))
+			for _, j := range mr.Failed {
+				removed[j] = true
+			}
+			if len(removed) == len(st.envs) {
+				// Every remaining message was removed as malicious;
+				// nothing is left to mix, certify or deliver.
+				st.filter(removed)
+				return res, nil
+			}
+			if i > 0 {
+				keepFull := make([]bool, len(c.Servers[i-1].lastOut))
+				for j := range st.envs {
+					if !removed[j] {
+						keepFull[st.slot[j]] = true
+					}
+				}
+				if err := c.reCertifyUpstream(round, i, keepFull, epochs); err != nil {
+					res.Halted = true
+					res.BlamedServers = append(res.BlamedServers, i-1)
+					return res, nil
+				}
+			}
+			st.filter(removed)
+			continue
+		}
+		// Every member verifies the shuffle certificate; the chain
+		// halts on failure (the honest server refuses to continue).
+		if err := VerifyMix(round, c.ID, s.Index, epochs[i], s.bpkPrev, s.bpk, st.envs, mr.Out, mr.Proof); err != nil {
+			res.Halted = true
+			res.BlamedServers = append(res.BlamedServers, i)
+			return res, nil
+		}
+		// Record how this server's input positions map back to the
+		// previous server's output positions (non-identity only after
+		// blame removals), then advance: outputs become the next
+		// server's inputs and origins follow the permutation the
+		// server privately applied.
+		s.lastInSlots = append([]int(nil), st.slot...)
+		newOrigin := make([]int, len(st.origin))
+		for p, j := range s.lastOut2In {
+			newOrigin[p] = st.origin[j]
+		}
+		st.envs, st.origin, st.slot = mr.Out, newOrigin, nil
+		i++
+	}
+
+	// Reveal inner keys (§6.3) and decrypt the inner envelopes.
+	innerSum := group.NewScalar(0)
+	for _, s := range c.Servers {
+		ipk, ok := s.InnerPublicKey(round)
+		isk, err := s.RevealInnerKey(round)
+		if !ok || err != nil || !group.Base(isk).Equal(ipk) {
+			res.Halted = true
+			res.BlamedServers = append(res.BlamedServers, s.Index)
+			return res, nil
+		}
+		innerSum = innerSum.Add(isk)
+	}
+	for _, env := range st.envs {
+		msg, err := onion.OpenInner(c.scheme, innerSum, nonce, env.Ct)
+		if err != nil {
+			res.DroppedInner++
+			continue
+		}
+		res.Delivered = append(res.Delivered, msg)
+	}
+	return res, nil
+}
+
+// identitySlots resets the slot map when entering a new server (each
+// message's slot is then simply its index) and keeps it across blame
+// retries at the same server.
+func identitySlots(n int, cur []int, reset bool) []int {
+	if !reset && cur != nil {
+		return cur
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// filter drops the removed working indices.
+func (st *roundState) filter(removed map[int]bool) {
+	var envs []onion.Envelope
+	var origin, slot []int
+	for j := range st.envs {
+		if removed[j] {
+			continue
+		}
+		envs = append(envs, st.envs[j])
+		origin = append(origin, st.origin[j])
+		slot = append(slot, st.slot[j])
+	}
+	st.envs, st.origin, st.slot = envs, origin, slot
+}
+
+// reCertifyUpstream makes servers 0..upto-1 re-issue their shuffle
+// certificates over the surviving messages after blame removal, and
+// verifies them against the reduced key products. keepFull is indexed
+// by server upto-1's output positions; walking upstream, positions
+// are translated through each server's permutation and its input
+// slot map (non-identity only if it re-mixed a reduced set).
+func (c *Chain) reCertifyUpstream(round uint64, upto int, keepFull []bool, epochs []int) error {
+	keepAt := keepFull
+	for i := upto - 1; i >= 0; i-- {
+		s := c.Servers[i]
+		inKeep := make([]bool, len(s.lastIn))
+		for p, k := range keepAt {
+			if k {
+				inKeep[s.lastOut2In[p]] = true
+			}
+		}
+		epochs[i]++
+		proof, err := s.ReProveSubset(round, epochs[i], inKeep)
+		if err != nil {
+			return err
+		}
+		var keptIn, keptOut []onion.Envelope
+		for j, k := range inKeep {
+			if k {
+				keptIn = append(keptIn, s.lastIn[j])
+			}
+		}
+		for p, k := range keepAt {
+			if k {
+				keptOut = append(keptOut, s.lastOut[p])
+			}
+		}
+		if err := nizk.VerifyDleq(mixContext(round, c.ID, s.Index, epochs[i]),
+			productOfKeys(keptIn), productOfKeys(keptOut), s.bpkPrev, s.bpk, proof); err != nil {
+			return fmt.Errorf("mix: server %d re-certification: %w", s.Index, err)
+		}
+		if i == 0 {
+			break
+		}
+		prevKeep := make([]bool, len(c.Servers[i-1].lastOut))
+		for j, k := range inKeep {
+			if k {
+				prevKeep[s.lastInSlots[j]] = true
+			}
+		}
+		keepAt = prevKeep
+	}
+	return nil
+}

@@ -1,0 +1,675 @@
+package mix
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/kdf"
+	"repro/internal/onion"
+)
+
+var scheme = aead.ChaCha20Poly1305()
+
+// testChain builds a k-server chain with fresh round 1 keys.
+func testChain(t testing.TB, k int) *Chain {
+	t.Helper()
+	c, err := NewChain(0, k, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginRound(1); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// honestSubmission builds a valid submission carrying a recognizable
+// body addressed to a fresh recipient, returning the submission and
+// the expected mailbox message.
+func honestSubmission(t testing.TB, c *Chain, tag byte) (onion.Submission, []byte) {
+	t.Helper()
+	p := c.Params()
+	nonce := aead.RoundNonce(p.Round, 0)
+	recipient := group.GenerateBaseKeyPair()
+	var secret [32]byte
+	secret[0] = tag
+	key := kdf.ConversationKey(secret, recipient.Public.Bytes())
+	msg, err := onion.SealMailboxMessage(scheme, key, nonce, recipient.Public,
+		onion.Payload{Kind: onion.KindConversation, Body: []byte{tag}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := onion.WrapAHS(scheme, p.InnerAggregate, p.MixKeys, p.Round, p.ChainID, nonce, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub, msg
+}
+
+func submitMany(t testing.TB, c *Chain, n int) ([]onion.Submission, map[string]bool) {
+	t.Helper()
+	subs := make([]onion.Submission, n)
+	want := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		sub, msg := honestSubmission(t, c, byte(i))
+		subs[i] = sub
+		want[string(msg)] = true
+	}
+	return subs, want
+}
+
+func TestHonestRoundDeliversAll(t *testing.T) {
+	c := testChain(t, 4)
+	subs, want := submitMany(t, c, 12)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.BlamedServers) != 0 || len(res.BlamedUsers) != 0 {
+		t.Fatalf("honest round reported misbehaviour: %+v", res)
+	}
+	if len(res.Delivered) != len(subs) {
+		t.Fatalf("delivered %d of %d", len(res.Delivered), len(subs))
+	}
+	for _, m := range res.Delivered {
+		if !want[string(m)] {
+			t.Fatal("delivered message not among submissions")
+		}
+		delete(want, string(m))
+	}
+}
+
+func TestRoundRejectsWrongRound(t *testing.T) {
+	c := testChain(t, 3)
+	subs, _ := submitMany(t, c, 2)
+	if _, err := c.RunRound(2, 0, subs); err == nil {
+		t.Fatal("round with stale keys accepted")
+	}
+}
+
+// TestOutputIsShuffled checks the permutation is applied: running the
+// same submissions through the same round twice must yield different
+// delivery orders (the permutation is fresh per run; a collision over
+// 32 messages has probability 1/32!).
+func TestOutputIsShuffled(t *testing.T) {
+	c := testChain(t, 3)
+	const n = 32
+	subs, _ := submitMany(t, c, n)
+	res1, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Delivered) != n || len(res2.Delivered) != n {
+		t.Fatalf("delivered %d and %d of %d", len(res1.Delivered), len(res2.Delivered), n)
+	}
+	same := true
+	for i := range res1.Delivered {
+		if !bytes.Equal(res1.Delivered[i], res2.Delivered[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two shuffles produced the identical order")
+	}
+}
+
+// TestMaliciousUserInvalidProof: submissions with broken PoKs are
+// rejected before mixing and their senders identified (§6.4).
+func TestMaliciousUserInvalidProof(t *testing.T) {
+	c := testChain(t, 3)
+	subs, _ := submitMany(t, c, 5)
+	bad, err := InvalidProofSubmission(scheme, c.Params(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs = append(subs, bad)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("chain halted for a user-only attack")
+	}
+	if len(res.BlamedUsers) != 1 || res.BlamedUsers[0] != 5 {
+		t.Fatalf("blamed users = %v, want [5]", res.BlamedUsers)
+	}
+	if len(res.Delivered) != 5 {
+		t.Fatalf("delivered %d of 5 honest messages", len(res.Delivered))
+	}
+}
+
+// TestMaliciousUserMisauthenticatedCiphertext: a user whose onion
+// fails at an interior server is convicted by the blame protocol and
+// removed; honest messages still flow (§6.4).
+func TestMaliciousUserMisauthenticatedCiphertext(t *testing.T) {
+	for _, badLayer := range []int{0, 1, 3} {
+		c := testChain(t, 4)
+		subs, want := submitMany(t, c, 6)
+		bad, err := MaliciousSubmission(scheme, c.Params(), 1, 0, badLayer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, bad)
+		res, err := c.RunRound(1, 0, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Halted || len(res.BlamedServers) != 0 {
+			t.Fatalf("badLayer=%d: servers blamed for a user attack: %+v", badLayer, res)
+		}
+		if len(res.BlamedUsers) != 1 || res.BlamedUsers[0] != 6 {
+			t.Fatalf("badLayer=%d: blamed users = %v, want [6]", badLayer, res.BlamedUsers)
+		}
+		if res.BlameRounds == 0 {
+			t.Fatalf("badLayer=%d: blame protocol did not run", badLayer)
+		}
+		if len(res.Delivered) != 6 {
+			t.Fatalf("badLayer=%d: delivered %d of 6", badLayer, len(res.Delivered))
+		}
+		for _, m := range res.Delivered {
+			if !want[string(m)] {
+				t.Fatalf("badLayer=%d: unexpected delivery", badLayer)
+			}
+		}
+	}
+}
+
+// TestManyMaliciousUsers: multiple misauthenticated ciphertexts are
+// all attributed in one blame round (Figure 7's scenario).
+func TestManyMaliciousUsers(t *testing.T) {
+	c := testChain(t, 3)
+	subs, _ := submitMany(t, c, 8)
+	params := c.Params()
+	wantBlamed := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		bad, err := MaliciousSubmission(scheme, params, 1, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, bad)
+		wantBlamed[8+i] = true
+	}
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("halted on user-only attack")
+	}
+	if len(res.BlamedUsers) != 4 {
+		t.Fatalf("blamed %v, want 4 users", res.BlamedUsers)
+	}
+	for _, u := range res.BlamedUsers {
+		if !wantBlamed[u] {
+			t.Fatalf("blamed honest user %d", u)
+		}
+	}
+	if len(res.Delivered) != 8 {
+		t.Fatalf("delivered %d of 8", len(res.Delivered))
+	}
+}
+
+// TestServerTamperPairDetected: the product-preserving key tamper
+// passes the shuffle certificate but is convicted by the blame
+// protocol at the next server, and the chain halts with no delivery
+// (Appendix A's game).
+func TestServerTamperPairDetected(t *testing.T) {
+	c := testChain(t, 4)
+	c.Servers[1].Corruption = &Corruption{TamperPairs: [][2]int{{0, 1}}}
+	subs, _ := submitMany(t, c, 6)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("tampering did not halt the chain")
+	}
+	if len(res.Delivered) != 0 {
+		t.Fatal("messages delivered despite tampering")
+	}
+	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 1 {
+		t.Fatalf("blamed servers = %v, want [1]", res.BlamedServers)
+	}
+	if len(res.BlamedUsers) != 0 {
+		t.Fatalf("honest users blamed: %v", res.BlamedUsers)
+	}
+}
+
+// TestServerReplaceEnvelopeDetected: wholesale substitution (§4.1's
+// attack) breaks the key product and fails the shuffle certificate
+// immediately.
+func TestServerReplaceEnvelopeDetected(t *testing.T) {
+	c := testChain(t, 4)
+	target := group.GenerateBaseKeyPair()
+	crafted, err := CraftValidOnion(scheme, c.Params(), 1, 0, target.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The substituted envelope must look like a position-1 envelope;
+	// using the fresh submission envelope suffices for the test since
+	// detection happens before any decryption of it.
+	c.Servers[1].Corruption = &Corruption{ReplaceOutput: map[int]onion.Envelope{2: crafted.Envelope}}
+	subs, _ := submitMany(t, c, 6)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Delivered) != 0 {
+		t.Fatal("substitution not detected")
+	}
+	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 1 {
+		t.Fatalf("blamed servers = %v, want [1]", res.BlamedServers)
+	}
+}
+
+// TestServerGarbleCiphertextDetected: garbling a ciphertext while
+// leaving keys intact is convicted by the blame replay (step 3b).
+func TestServerGarbleCiphertextDetected(t *testing.T) {
+	c := testChain(t, 4)
+	c.Servers[0].Corruption = &Corruption{GarbleCiphertext: []int{3}}
+	subs, _ := submitMany(t, c, 6)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Delivered) != 0 {
+		t.Fatal("garbling not detected")
+	}
+	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 0 {
+		t.Fatalf("blamed servers = %v, want [0]", res.BlamedServers)
+	}
+	if len(res.BlamedUsers) != 0 {
+		t.Fatalf("honest users blamed: %v", res.BlamedUsers)
+	}
+}
+
+// TestServerDropMessageDetected: dropping a message changes the count
+// and every verifier notices.
+func TestServerDropMessageDetected(t *testing.T) {
+	c := testChain(t, 3)
+	drop := 2
+	c.Servers[1].Corruption = &Corruption{DropOutput: &drop}
+	subs, _ := submitMany(t, c, 5)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.BlamedServers) != 1 || res.BlamedServers[0] != 1 {
+		t.Fatalf("drop not detected: %+v", res)
+	}
+}
+
+// TestServerBadProofDetected: an invalid shuffle certificate halts
+// the round at once.
+func TestServerBadProofDetected(t *testing.T) {
+	c := testChain(t, 3)
+	c.Servers[2].Corruption = &Corruption{BadMixProof: true}
+	subs, _ := submitMany(t, c, 4)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.BlamedServers) != 1 || res.BlamedServers[0] != 2 {
+		t.Fatalf("bad proof not detected: %+v", res)
+	}
+}
+
+// TestFalseAccusationConvictsAccuser: a server that accuses an honest
+// message is itself blamed when the revealed key decrypts the
+// ciphertext successfully (§6.4 analysis), and no honest user is
+// convicted.
+func TestFalseAccusationConvictsAccuser(t *testing.T) {
+	c := testChain(t, 4)
+	c.Servers[2].Corruption = &Corruption{FalselyAccuse: []int{1}}
+	subs, _ := submitMany(t, c, 5)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("false accusation did not halt the round")
+	}
+	if len(res.BlamedUsers) != 0 {
+		t.Fatalf("honest users convicted by false accusation: %v", res.BlamedUsers)
+	}
+	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 2 {
+		t.Fatalf("blamed servers = %v, want [2]", res.BlamedServers)
+	}
+}
+
+// TestWithheldInnerKeyHaltsWithoutDelivery: refusing the inner key
+// reveal denies service but reveals nothing.
+func TestWithheldInnerKeyHaltsWithoutDelivery(t *testing.T) {
+	c := testChain(t, 3)
+	c.Servers[1].Corruption = &Corruption{WithholdInnerKey: true}
+	subs, _ := submitMany(t, c, 4)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Delivered) != 0 {
+		t.Fatal("withheld inner key did not halt delivery")
+	}
+	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 1 {
+		t.Fatalf("blamed servers = %v, want [1]", res.BlamedServers)
+	}
+}
+
+// TestMalformedInnerEnvelopeDropped: garbage below the outer layers
+// (valid outer onion, broken inner envelope) survives mixing and is
+// dropped at inner decryption without affecting others.
+func TestMalformedInnerEnvelopeDropped(t *testing.T) {
+	c := testChain(t, 3)
+	subs, _ := submitMany(t, c, 4)
+	p := c.Params()
+	nonce := aead.RoundNonce(1, 0)
+	garbage := make([]byte, onion.AHSCiphertextSize(len(p.MixKeys))-len(p.MixKeys)*aead.Overhead)
+	for i := range garbage {
+		garbage[i] = byte(i * 7)
+	}
+	bad, err := onion.WrapPartialAHS(scheme, p.MixKeys, 1, p.ChainID, nonce, garbage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs = append(subs, bad)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.BlamedServers) != 0 || len(res.BlamedUsers) != 0 {
+		t.Fatalf("unexpected blame: %+v", res)
+	}
+	if res.DroppedInner != 1 {
+		t.Fatalf("DroppedInner = %d, want 1", res.DroppedInner)
+	}
+	if len(res.Delivered) != 4 {
+		t.Fatalf("delivered %d of 4", len(res.Delivered))
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	c := testChain(t, 4)
+	p := c.Params()
+	nonce := aead.RoundNonce(1, 0)
+	const n = 10
+	cts := make([][]byte, n)
+	want := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		recipient := group.GenerateBaseKeyPair()
+		var secret [32]byte
+		secret[0] = byte(i)
+		key := kdf.ConversationKey(secret, recipient.Public.Bytes())
+		msg, err := onion.SealMailboxMessage(scheme, key, nonce, recipient.Public,
+			onion.Payload{Kind: onion.KindLoopback})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[string(msg)] = true
+		ct, err := onion.WrapBaseline(scheme, p.BaselineKeys, nonce, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	out, err := c.RunRoundBaseline(1, 0, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("baseline delivered %d of %d", len(out), n)
+	}
+	for _, m := range out {
+		if !want[string(m)] {
+			t.Fatal("baseline delivered unexpected message")
+		}
+	}
+}
+
+// TestBaselineSilentlyDropsTampered documents why AHS exists: the
+// baseline cannot attribute or even reliably detect tampering.
+func TestBaselineSilentlyDropsTampered(t *testing.T) {
+	c := testChain(t, 3)
+	p := c.Params()
+	nonce := aead.RoundNonce(1, 0)
+	recipient := group.GenerateBaseKeyPair()
+	var secret [32]byte
+	key := kdf.ConversationKey(secret, recipient.Public.Bytes())
+	msg, err := onion.SealMailboxMessage(scheme, key, nonce, recipient.Public, onion.Payload{Kind: onion.KindLoopback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := onion.WrapBaseline(scheme, p.BaselineKeys, nonce, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[40] ^= 1
+	out, err := c.RunRoundBaseline(1, 0, [][]byte{ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatal("tampered baseline message was delivered")
+	}
+}
+
+func TestChainRejectsZeroServers(t *testing.T) {
+	if _, err := NewChain(0, 0, scheme); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestEmptyRound(t *testing.T) {
+	c := testChain(t, 3)
+	res, err := c.RunRound(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.Delivered) != 0 {
+		t.Fatalf("empty round misbehaved: %+v", res)
+	}
+}
+
+func TestMultipleRoundsRotateInnerKeys(t *testing.T) {
+	c := testChain(t, 3)
+	agg1 := c.Params().InnerAggregate
+	subs, _ := submitMany(t, c, 3)
+	if _, err := c.RunRound(1, 0, subs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginRound(2); err != nil {
+		t.Fatal(err)
+	}
+	agg2 := c.Params().InnerAggregate
+	if agg1.Equal(agg2) {
+		t.Fatal("inner aggregate did not rotate between rounds")
+	}
+	subs2, _ := submitMany(t, c, 3)
+	res, err := c.RunRound(2, 0, subs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 3 {
+		t.Fatalf("round 2 delivered %d of 3", len(res.Delivered))
+	}
+}
+
+func BenchmarkChainRound32Servers100Msgs(b *testing.B) {
+	c := testChain(b, 32)
+	subs := make([]onion.Submission, 100)
+	for i := range subs {
+		sub, _ := honestSubmission(b, c, byte(i))
+		subs[i] = sub
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunRound(1, 0, subs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Delivered) != len(subs) {
+			b.Fatalf("delivered %d", len(res.Delivered))
+		}
+	}
+}
+
+// TestBlameRemovesAllMessages: when every message in a batch is
+// malicious, blame convicts them all and the round ends empty without
+// falsely accusing any server (the empty-product edge case after
+// removal).
+func TestBlameRemovesAllMessages(t *testing.T) {
+	c := testChain(t, 3)
+	params := c.Params()
+	var subs []onion.Submission
+	for i := 0; i < 2; i++ {
+		bad, err := MaliciousSubmission(scheme, params, 1, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, bad)
+	}
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.BlamedServers) != 0 {
+		t.Fatalf("servers blamed for an all-malicious batch: %+v", res)
+	}
+	if len(res.BlamedUsers) != 2 {
+		t.Fatalf("blamed users = %v, want both", res.BlamedUsers)
+	}
+	if len(res.Delivered) != 0 {
+		t.Fatalf("delivered %d from an all-malicious batch", len(res.Delivered))
+	}
+}
+
+// TestBlameAtFirstServerOnly: a single malicious message that is the
+// entire batch, failing at layer 0.
+func TestBlameAtFirstServerOnly(t *testing.T) {
+	c := testChain(t, 3)
+	bad, err := MaliciousSubmission(scheme, c.Params(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunRound(1, 0, []onion.Submission{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.BlamedServers) != 0 || len(res.BlamedUsers) != 1 {
+		t.Fatalf("res: %+v", res)
+	}
+}
+
+// TestMaliciousUsersAtDifferentLayers: failures surfacing at two
+// different servers trigger two blame executions, both attributed to
+// users, and honest traffic flows.
+func TestMaliciousUsersAtDifferentLayers(t *testing.T) {
+	c := testChain(t, 4)
+	subs, _ := submitMany(t, c, 5)
+	params := c.Params()
+	for _, layer := range []int{1, 3} {
+		bad, err := MaliciousSubmission(scheme, params, 1, 0, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, bad)
+	}
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.BlamedServers) != 0 {
+		t.Fatalf("servers blamed: %+v", res)
+	}
+	if len(res.BlamedUsers) != 2 {
+		t.Fatalf("blamed = %v, want 2 users", res.BlamedUsers)
+	}
+	if res.BlameRounds != 2 {
+		t.Fatalf("blame rounds = %d, want 2", res.BlameRounds)
+	}
+	if len(res.Delivered) != 5 {
+		t.Fatalf("delivered %d of 5", len(res.Delivered))
+	}
+}
+
+// TestLastServerGarbleDropsInner exercises §6's central observation:
+// tampering downstream of the honest shuffler gains the adversary
+// nothing. Garbling the LAST server's output corrupts only inner
+// envelopes whose origins are already hidden; the messages drop at
+// inner decryption and no blame is needed for privacy.
+func TestLastServerGarbleDropsInner(t *testing.T) {
+	c := testChain(t, 3)
+	c.Servers[2].Corruption = &Corruption{GarbleCiphertext: []int{0}}
+	subs, _ := submitMany(t, c, 4)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The key product is untouched, so the certificate verifies; the
+	// garbled inner envelope fails to open and is dropped.
+	if res.Halted {
+		t.Fatalf("halted: %+v", res)
+	}
+	if res.DroppedInner != 1 || len(res.Delivered) != 3 {
+		t.Fatalf("dropped=%d delivered=%d, want 1/3", res.DroppedInner, len(res.Delivered))
+	}
+}
+
+// TestTwoCorruptServers: colluding tamperers at different positions
+// are still caught — the first decryption failure downstream of the
+// earliest tamper triggers blame against it.
+func TestTwoCorruptServers(t *testing.T) {
+	c := testChain(t, 4)
+	c.Servers[0].Corruption = &Corruption{TamperPairs: [][2]int{{0, 1}}}
+	c.Servers[2].Corruption = &Corruption{TamperPairs: [][2]int{{2, 3}}}
+	subs, _ := submitMany(t, c, 6)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Delivered) != 0 {
+		t.Fatal("collusion not detected")
+	}
+	if len(res.BlamedServers) == 0 || res.BlamedServers[0] != 0 {
+		t.Fatalf("blamed servers = %v, want the earliest tamperer first", res.BlamedServers)
+	}
+	if len(res.BlamedUsers) != 0 {
+		t.Fatalf("honest users blamed: %v", res.BlamedUsers)
+	}
+}
+
+// TestMixedUserAndServerMisbehaviour: a malicious user and a
+// tampering server in the same round; the server conviction halts the
+// chain and the honest users stay unconvicted.
+func TestMixedUserAndServerMisbehaviour(t *testing.T) {
+	c := testChain(t, 4)
+	c.Servers[2].Corruption = &Corruption{GarbleCiphertext: []int{1}}
+	subs, _ := submitMany(t, c, 5)
+	bad, err := MaliciousSubmission(scheme, c.Params(), 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs = append(subs, bad)
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("server tamper not detected")
+	}
+	for _, u := range res.BlamedUsers {
+		if u != 5 {
+			t.Fatalf("honest user %d blamed", u)
+		}
+	}
+	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 2 {
+		t.Fatalf("blamed servers = %v, want [2]", res.BlamedServers)
+	}
+}

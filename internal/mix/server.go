@@ -1,0 +1,345 @@
+// Package mix implements XRD's mix chains: the baseline
+// decrypt-and-shuffle of Algorithm 1, the aggregate hybrid shuffle
+// (AHS) of §6 that detects active attacks with cheap discrete-log
+// NIZKs, and the blame protocol of §6.4 that identifies misbehaving
+// users and servers without hurting honest users' privacy.
+//
+// A Chain bundles the k servers of one anytrust group and runs rounds
+// against them. Every server verifies every other server's proofs, as
+// in the real protocol; the security guarantee only needs one of them
+// to be honest. Fault injection hooks (Corruption) simulate malicious
+// servers and users for tests and experiments.
+package mix
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/nizk"
+	"repro/internal/onion"
+)
+
+// Server is one mix server's membership in one chain, holding the
+// three AHS key pairs of §6.1: a long-term blinding key and mixing
+// key chained off the previous server's blinding key, and a per-round
+// inner key.
+type Server struct {
+	// Chain is the chain this membership belongs to.
+	Chain int
+	// Index is the position in the chain, 0-based.
+	Index int
+
+	scheme aead.Scheme
+
+	// AHS long-term keys (§6.1). bpkPrev is the base of this server's
+	// keys: g for the first server, bpk_{i-1} otherwise.
+	bsk, msk    group.Scalar
+	bpk, mpk    group.Point
+	bpkPrev     group.Point
+	bskProof    nizk.Proof
+	mskProof    nizk.Proof
+	baselineKey group.KeyPair // plain g^msk' pair for Algorithm 1 mode
+	// innerKeys holds the per-round inner key pairs (isk, ipk=g^isk).
+	// Keys for round ρ+1 are generated during round ρ so users can
+	// build their cover messages one round ahead (§5.3.3); old rounds
+	// are pruned after reveal.
+	innerKeys map[uint64]group.KeyPair
+
+	// Round state retained for the blame protocol: this server's
+	// inputs, outputs and permutation from the last Mix call, plus
+	// the mapping from its input positions to the previous server's
+	// output positions (identity unless blame removed messages before
+	// this server re-mixed a reduced set).
+	lastIn      []onion.Envelope
+	lastOut     []onion.Envelope
+	lastOut2In  []int
+	lastInSlots []int
+
+	// Corruption, when non-nil, makes the server misbehave; see
+	// corrupt.go.
+	Corruption *Corruption
+}
+
+// keyGenContext binds key-knowledge proofs to a chain position.
+func keyGenContext(chain, index int, kind string) string {
+	return fmt.Sprintf("xrd/keygen/chain=%d/server=%d/%s", chain, index, kind)
+}
+
+// innerKeyContext binds per-round inner keys to their round.
+func innerKeyContext(chain, index int, round uint64) string {
+	return fmt.Sprintf("xrd/innerkey/chain=%d/server=%d/round=%d", chain, index, round)
+}
+
+// newServer generates the long-term keys for position index, chaining
+// off base (= bpk_{i-1}), and proves knowledge of both secrets as
+// §6.1 requires.
+func newServer(chain, index int, base group.Point, scheme aead.Scheme) *Server {
+	s := &Server{Chain: chain, Index: index, scheme: scheme, bpkPrev: base}
+	s.bsk = group.MustRandomScalar()
+	s.msk = group.MustRandomScalar()
+	s.bpk = base.Mul(s.bsk)
+	s.mpk = base.Mul(s.msk)
+	s.bskProof = nizk.ProveDlog(keyGenContext(chain, index, "bsk"), base, s.bsk)
+	s.mskProof = nizk.ProveDlog(keyGenContext(chain, index, "msk"), base, s.msk)
+	s.baselineKey = group.GenerateBaseKeyPair()
+	return s
+}
+
+// VerifyKeys checks the server's key-knowledge proofs against its
+// published public keys, as every other chain member does at setup.
+func (s *Server) VerifyKeys() error {
+	if err := nizk.VerifyDlog(keyGenContext(s.Chain, s.Index, "bsk"), s.bpkPrev, s.bpk, s.bskProof); err != nil {
+		return fmt.Errorf("mix: server %d blinding key proof: %w", s.Index, err)
+	}
+	if err := nizk.VerifyDlog(keyGenContext(s.Chain, s.Index, "msk"), s.bpkPrev, s.mpk, s.mskProof); err != nil {
+		return fmt.Errorf("mix: server %d mixing key proof: %w", s.Index, err)
+	}
+	return nil
+}
+
+// BeginRound generates the per-round inner key pair for the given
+// round if it does not exist yet (§6.1) and returns the public inner
+// key with its knowledge proof. It is idempotent per round, so the
+// coordinator can announce round ρ+1's keys during round ρ for cover
+// messages.
+func (s *Server) BeginRound(round uint64) (group.Point, nizk.Proof) {
+	if s.innerKeys == nil {
+		s.innerKeys = make(map[uint64]group.KeyPair)
+	}
+	kp, ok := s.innerKeys[round]
+	if !ok {
+		kp = group.GenerateBaseKeyPair()
+		s.innerKeys[round] = kp
+	}
+	proof := nizk.ProveDlog(innerKeyContext(s.Chain, s.Index, round), group.Generator(), kp.Private)
+	return kp.Public, proof
+}
+
+// InnerPublicKey returns the server's inner public key for round, if
+// generated.
+func (s *Server) InnerPublicKey(round uint64) (group.Point, bool) {
+	kp, ok := s.innerKeys[round]
+	return kp.Public, ok
+}
+
+// RevealInnerKey discloses the per-round inner secret after mixing
+// succeeded (§6.3) and prunes older rounds. Corrupt servers may
+// refuse; the chain then halts without delivering, which leaks
+// nothing (messages stay encrypted).
+func (s *Server) RevealInnerKey(round uint64) (group.Scalar, error) {
+	kp, ok := s.innerKeys[round]
+	if !ok {
+		return group.Scalar{}, fmt.Errorf("mix: server %d has no inner key for round %d", s.Index, round)
+	}
+	if s.Corruption != nil && s.Corruption.WithholdInnerKey {
+		return group.Scalar{}, fmt.Errorf("mix: server %d withheld its inner key", s.Index)
+	}
+	for r := range s.innerKeys {
+		if r < round {
+			delete(s.innerKeys, r)
+		}
+	}
+	return kp.Private, nil
+}
+
+// mixContext binds a shuffle certificate to round, chain, position
+// and a re-proof epoch (incremented after blame removes messages).
+func mixContext(round uint64, chain, index, epoch int) string {
+	return fmt.Sprintf("xrd/mix/round=%d/chain=%d/server=%d/epoch=%d", round, chain, index, epoch)
+}
+
+// MixResult is a server's output for one mixing step (§6.3): the
+// blinded, shuffled envelopes, the shuffle certificate, and the
+// indices (into its input) whose authenticated decryption failed.
+type MixResult struct {
+	Out    []onion.Envelope
+	Proof  nizk.Proof
+	Failed []int
+}
+
+// Mix performs §6.3 steps 1-3: decrypt every envelope, blind every
+// Diffie-Hellman key with bsk, shuffle both with one permutation, and
+// certify (∏ Xin)^bsk = ∏ Xout with a DLEQ against (bpkPrev, bpk).
+//
+// If any decryption fails, Mix returns the failed indices and no
+// output; the chain moves to the blame protocol. Corrupt servers
+// tamper according to their Corruption before proving.
+func (s *Server) Mix(round uint64, nonce [aead.NonceSize]byte, in []onion.Envelope) (*MixResult, error) {
+	s.lastIn = cloneEnvelopes(in)
+
+	// Step 1: decrypt in parallel; collect failures.
+	peeled := make([][]byte, len(in))
+	failed := make([]int, 0)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(in) {
+		workers = len(in)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stride := (len(in) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*stride, (w+1)*stride
+		if hi > len(in) {
+			hi = len(in)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var localFailed []int
+			for j := lo; j < hi; j++ {
+				pt, err := onion.PeelAHS(s.scheme, s.msk, nonce, in[j])
+				if err != nil {
+					localFailed = append(localFailed, j)
+					continue
+				}
+				peeled[j] = pt
+			}
+			if len(localFailed) > 0 {
+				mu.Lock()
+				failed = append(failed, localFailed...)
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if len(failed) > 0 {
+		sortInts(failed)
+		return &MixResult{Failed: failed}, nil
+	}
+	if s.Corruption != nil && len(s.Corruption.FalselyAccuse) > 0 {
+		f := append([]int(nil), s.Corruption.FalselyAccuse...)
+		sortInts(f)
+		return &MixResult{Failed: f}, nil
+	}
+
+	// Step 2: blind and shuffle.
+	out := make([]onion.Envelope, len(in))
+	out2in := randomPermutation(len(in))
+	for p, j := range out2in {
+		out[p] = onion.Envelope{DHKey: in[j].DHKey.Mul(s.bsk), Ct: peeled[j]}
+	}
+
+	const epoch = 0
+	if s.Corruption != nil {
+		out = s.Corruption.applyMix(s, in, out, out2in)
+	}
+
+	// Step 3: shuffle certificate.
+	prodIn := productOfKeys(in)
+	proof := nizk.ProveDleq(mixContext(round, s.Chain, s.Index, epoch), prodIn, s.bpkPrev, s.bsk)
+	if s.Corruption != nil && s.Corruption.BadMixProof {
+		proof.S = proof.S.Add(group.NewScalar(1))
+	}
+
+	s.lastOut = cloneEnvelopes(out)
+	s.lastOut2In = out2in
+	return &MixResult{Out: out, Proof: proof}, nil
+}
+
+// VerifyMix is the check every other server runs on a peer's shuffle
+// certificate (§6.3 step 3): the products of the input and output
+// keys must be related by the peer's published blinding key.
+func VerifyMix(round uint64, chain, index, epoch int, bpkPrev, bpk group.Point, in, out []onion.Envelope, proof nizk.Proof) error {
+	if len(in) != len(out) {
+		return fmt.Errorf("mix: server %d changed the message count %d -> %d", index, len(in), len(out))
+	}
+	prodIn := productOfKeys(in)
+	prodOut := productOfKeys(out)
+	if err := nizk.VerifyDleq(mixContext(round, chain, index, epoch), prodIn, prodOut, bpkPrev, bpk, proof); err != nil {
+		return fmt.Errorf("mix: server %d shuffle certificate: %w", index, err)
+	}
+	return nil
+}
+
+// ReProveSubset re-issues the shuffle certificate over the messages
+// that survived blame removal (§6.4: "the servers just have to repeat
+// step 3"). keep[j] says whether this server's input j survived.
+func (s *Server) ReProveSubset(round uint64, epoch int, keep []bool) (nizk.Proof, error) {
+	if len(keep) != len(s.lastIn) {
+		return nizk.Proof{}, fmt.Errorf("mix: server %d re-proof over %d messages, had %d", s.Index, len(keep), len(s.lastIn))
+	}
+	var kept []onion.Envelope
+	for j, k := range keep {
+		if k {
+			kept = append(kept, s.lastIn[j])
+		}
+	}
+	return nizk.ProveDleq(mixContext(round, s.Chain, s.Index, epoch), productOfKeys(kept), s.bpkPrev, s.bsk), nil
+}
+
+func productOfKeys(envs []onion.Envelope) group.Point {
+	keys := make([]group.Point, len(envs))
+	for i, e := range envs {
+		keys[i] = e.DHKey
+	}
+	return group.Product(keys)
+}
+
+func cloneEnvelopes(envs []onion.Envelope) []onion.Envelope {
+	out := make([]onion.Envelope, len(envs))
+	for i, e := range envs {
+		out[i] = e.Clone()
+	}
+	return out
+}
+
+// randomPermutation draws a uniform permutation from crypto/rand;
+// the honest server's secret permutation is what hides message
+// origins, so it must not come from a seedable PRNG.
+func randomPermutation(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := randInt(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func randInt(n int) int {
+	v, err := rand.Int(rand.Reader, big.NewInt(int64(n)))
+	if err != nil {
+		panic(fmt.Sprintf("mix: system randomness failed: %v", err))
+	}
+	return int(v.Int64())
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// InputDigest hashes an input set so the chain's servers can agree on
+// what they are mixing (§6.3: "the servers first agree on the inputs
+// for this round").
+func InputDigest(round uint64, chain int, subs []onion.Submission) [32]byte {
+	h := newDigest()
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], round)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(chain))
+	h.Write(hdr[:])
+	for _, sub := range subs {
+		h.Write(sub.DHKey.Bytes())
+		h.Write(sub.Ct)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,270 @@
+// Package model contains the analytic performance models that
+// regenerate the paper's evaluation figures (§8).
+//
+// The paper's end-to-end numbers come from a 100-200 machine EC2
+// testbed with millions of simulated users; this reproduction runs on
+// one machine, so large-scale latency points are produced by cost
+// models with two interchangeable calibrations:
+//
+//   - PaperCalibration fits the per-message constants to the numbers
+//     the paper reports (251 s for 2M users on 100 servers, etc.), so
+//     the figures can be regenerated exactly as published;
+//   - Measure() times this repository's actual crypto (mixing,
+//     wrapping, blame steps) and scales it to the paper's hardware
+//     profile, so the figures reflect the real implementation.
+//
+// The comparison systems (Atom, Pung, Stadium, Karaoke) were *also*
+// modelled or estimated in the paper itself (e.g. Pung's latency is a
+// best-case estimate from a single machine, §8.2); their models here
+// are fitted to the published curves. Cross-system ratios — who wins,
+// by what factor, where the crossovers fall — are the meaningful
+// outputs.
+package model
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/chainsel"
+	"repro/internal/onion"
+	"repro/internal/topology"
+)
+
+// Calibration holds the fitted constants for the latency models.
+type Calibration struct {
+	// PerMsgServerSeconds is the single-core time one server spends
+	// on one message at one mixing hop (decrypt + blind + per-message
+	// share of proofs and submission checks).
+	PerMsgServerSeconds float64
+	// PerMsgWrapSeconds is the single-core client cost of building
+	// one AHS submission (Figure 3).
+	PerMsgWrapSeconds float64
+	// PerUserLayerBlameSeconds is the single-core cost of one blame
+	// step (two DLEQ proofs + two verifications + one decryption) for
+	// one message at one layer (Figure 7).
+	PerUserLayerBlameSeconds float64
+	// Cores is the per-server core count (paper: c4.8xlarge, 36).
+	Cores int
+	// BlameFixedSeconds is the setup cost of one blame execution
+	// (broadcasting the problem ciphertexts, coordinating reveals).
+	BlameFixedSeconds float64
+	// RTTSeconds is the inter-server round-trip latency (paper: 40 to
+	// 100 ms injected with tc; we take the midpoint).
+	RTTSeconds float64
+	// FixedSeconds covers round setup, mailbox delivery and fetch.
+	FixedSeconds float64
+	// F is the assumed malicious fraction (paper default 0.2).
+	F float64
+	// SecurityBits is λ for chain length (64).
+	SecurityBits int
+	// PaperChainLength, if nonzero, uses the paper's quoted k
+	// (32 at f=0.2) rather than the exact union-bound formula.
+	PaperChainLength int
+}
+
+// PaperCalibration returns constants fitted to §8's reported numbers.
+//
+// Fit: with M=2e6 users and N=n=100 servers, ℓ=14, each chain handles
+// m = ℓ·M/n = 280,000 messages through k=32 hops; the paper reports
+// 251 s end to end and 128 s for 1M users, implying ≈ 2.4 s of
+// fixed+network time and a per-message-per-hop cost of
+// (251−4.6)·36/(32·280000) ≈ 990 µs single-core.
+func PaperCalibration() Calibration {
+	return Calibration{
+		PerMsgServerSeconds: 990e-6,
+		// Fig 3 reports just under 0.5 s at N=2000, i.e. 2ℓ(2000)=126
+		// submissions at ≈4 ms each.
+		PerMsgWrapSeconds: 4e-3,
+		// Fig 7's two quoted points (13 s at 5k users, 150 s at 100k)
+		// fit latency = U·k·x/cores + 5.8 s with x ≈ 1.675 ms.
+		PerUserLayerBlameSeconds: 1.675e-3,
+		BlameFixedSeconds:        5.8,
+		Cores:                    36,
+		RTTSeconds:               0.07,
+		FixedSeconds:             2.4,
+		F:                        0.2,
+		SecurityBits:             64,
+		PaperChainLength:         32,
+	}
+}
+
+// Measure times this repository's implementation and returns a
+// calibration with the paper's deployment profile (36 cores, 70 ms
+// RTT) but our measured single-core crypto costs. iters controls the
+// measurement effort.
+func Measure(iters int) Calibration {
+	c := PaperCalibration()
+	c.PerMsgServerSeconds = timePerOp(iters, benchMixOneMessage)
+	c.PerMsgWrapSeconds = timePerOp(maxInt(iters/4, 2), benchWrapOneMessage)
+	c.PerUserLayerBlameSeconds = timePerOp(iters, benchBlameOneLayer)
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func timePerOp(iters int, op func()) float64 {
+	op() // warm up
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	return time.Since(start).Seconds() / float64(iters)
+}
+
+// chainLength returns k for n chains under this calibration.
+func (c Calibration) chainLength(n int) int {
+	if c.PaperChainLength != 0 {
+		return c.PaperChainLength
+	}
+	return topology.ChainLength(c.F, n, c.SecurityBits)
+}
+
+// XRDLatency models the end-to-end round latency for M users on N
+// servers (n = N chains): every chain pushes m = ℓ·M/n messages
+// through k hops; with position staggering each server's total work
+// is k·m messages, parallelised over its cores, plus k network hops.
+func (c Calibration) XRDLatency(M, N int) float64 {
+	l := chainsel.L(N)
+	k := c.chainLength(N)
+	perChain := float64(l) * float64(M) / float64(N)
+	work := float64(k) * perChain * c.PerMsgServerSeconds / float64(c.Cores)
+	return work + float64(k)*c.RTTSeconds + c.FixedSeconds
+}
+
+// XRDLatencyWithF models Figure 6: the latency of a fixed deployment
+// (M users, N servers) as the assumed malicious fraction varies,
+// which only enters through the chain length k(f) ∝ −1/log f.
+func (c Calibration) XRDLatencyWithF(M, N int, f float64) float64 {
+	cc := c
+	cc.F = f
+	cc.PaperChainLength = 0 // k must respond to f
+	return cc.XRDLatency(M, N)
+}
+
+// BlameLatency models Figure 7: the worst-case slowdown when
+// maliciousUsers misauthenticated ciphertexts surface at the last
+// server of a chain of length k(N). Every upstream layer reveals and
+// proves two DLEQs per message and everyone replays the decryption.
+func (c Calibration) BlameLatency(maliciousUsers, N int) float64 {
+	if maliciousUsers == 0 {
+		return 0
+	}
+	k := c.chainLength(N)
+	return float64(maliciousUsers)*float64(k)*c.PerUserLayerBlameSeconds/float64(c.Cores) + c.BlameFixedSeconds
+}
+
+// XRDUserBandwidth returns the bytes one user uploads per round with
+// N servers: 2ℓ submissions (current plus covers, §5.3.3), each an
+// AHS envelope with its knowledge proof.
+func (c Calibration) XRDUserBandwidth(N int) int {
+	l := chainsel.L(N)
+	k := c.chainLength(N)
+	per := onion.SubmissionWireSize(k)
+	return 2 * l * per
+}
+
+// XRDUserCompute returns the single-core seconds a user spends
+// building one round's messages (Figure 3): 2ℓ AHS wraps.
+func (c Calibration) XRDUserCompute(N int) float64 {
+	l := chainsel.L(N)
+	return 2 * float64(l) * c.PerMsgWrapSeconds
+}
+
+// AtomLatency models Atom's published curve: latency is linear in M,
+// scales as 1/N, and is dominated by hundreds of sequential
+// public-key hops. Fitted to 1532 s at (1M, 100) — the paper's 12×
+// gap to XRD's 128 s — and the linear growth of Figure 4.
+func (c Calibration) AtomLatency(M, N int) float64 {
+	const fitted = 1532.0 // seconds at M=1e6, N=100
+	return fitted * (float64(M) / 1e6) * (100 / float64(N))
+}
+
+// PungLatency models Pung (XPIR): per-user server work grows with the
+// total number of users, so latency grows superlinearly in M and
+// scales as 1/N (embarrassingly parallel, §8.2). Fitted through the
+// published (1M, 272 s) and (2M, 927 s) points at N=100:
+// latency = a·M·(1 + M/M0)/N with M0 ≈ 4.2e5.
+func (c Calibration) PungLatency(M, N int) float64 {
+	const (
+		a  = 8.045e-5 // seconds per user per (1+M/M0) unit at N=100
+		m0 = 4.2e5
+	)
+	return a * float64(M) * (1 + float64(M)/m0) * (100 / float64(N))
+}
+
+// StadiumLatency models Stadium's differential-privacy pipeline:
+// linear in M/N with a network floor. Fitted through (1M, 64 s) and
+// (2M, 138 s) at N=100, clamped below at the paper's ≈8 s
+// network-bound floor for large N (§8.2).
+func (c Calibration) StadiumLatency(M, N int) float64 {
+	lat := 7.4e-5*float64(M)*(100/float64(N)) - 10
+	if lat < 8 {
+		return 8
+	}
+	return lat
+}
+
+// KaraokeLatency estimates Karaoke as the paper does: 25× faster than
+// XRD where Stadium is 3.3× faster (§8.2), i.e. ≈7.6× faster than
+// Stadium, with the same network floor.
+func (c Calibration) KaraokeLatency(M, N int) float64 {
+	lat := c.StadiumLatency(M, N) / 7.6
+	if lat < 1 {
+		return 1
+	}
+	return lat
+}
+
+// PungXPIRBandwidth returns Pung/XPIR's per-round user bandwidth:
+// ∝ √M, through the published 5.8 MB at 1M users (11 MB at 4M).
+func PungXPIRBandwidth(M int) int {
+	return int(5.8e6 * math.Sqrt(float64(M)/1e6))
+}
+
+// PungSealPIRBandwidth returns Pung/SealPIR's compressed-query
+// bandwidth, roughly flat and comparable to XRD's (§8.1).
+func PungSealPIRBandwidth() int { return 50_000 }
+
+// StadiumBandwidth returns Stadium's per-round user bandwidth:
+// "less than a kilobyte" (§8.1).
+func StadiumBandwidth() int { return 800 }
+
+// AtomBandwidth returns Atom's per-round user bandwidth, also under a
+// kilobyte (§8.1).
+func AtomBandwidth() int { return 700 }
+
+// PungUserCompute models Pung's client CPU cost per round, which
+// grows with M and dwarfs XRD's (Figure 3 shows Pung XPIR near 0.4 s
+// at 1M users and above for 4M, flat in N).
+func PungUserCompute(M int) float64 {
+	return 0.35 * math.Sqrt(float64(M)/1e6)
+}
+
+// StadiumUserCompute is Stadium's flat, tiny client cost (Figure 3).
+func StadiumUserCompute() float64 { return 0.01 }
+
+// ConversationFailureRate is the closed-form Figure 8 model: a
+// conversation fails iff its meeting chain contains at least one
+// crashed server, so with per-round server churn rate c and chain
+// length k the failure probability is 1 − (1−c)^k (§8.3).
+func ConversationFailureRate(churnRate float64, k int) float64 {
+	return 1 - math.Pow(1-churnRate, float64(k))
+}
+
+// CrossoverServers returns the approximate server count above which
+// `other` (a 1/N-scaling system) becomes faster than XRD for M users,
+// found by scanning. The paper estimates ≈3000 for Atom and ≈1000 for
+// Pung at 2M users (§8.2). Returns maxN+1 if no crossover below maxN.
+func (c Calibration) CrossoverServers(M int, other func(M, N int) float64, maxN int) int {
+	for n := 100; n <= maxN; n += 50 {
+		if other(M, n) <= c.XRDLatency(M, n) {
+			return n
+		}
+	}
+	return maxN + 1
+}

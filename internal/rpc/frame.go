@@ -1,0 +1,58 @@
+// Package rpc provides the network transport of this reproduction:
+// length-prefixed binary frames over TCP with TLS, standing in for
+// the prototype's streaming gRPC over TLS (§7).
+//
+// The exposed service is the user-facing surface of an XRD
+// deployment: fetch chain parameters, submit a round's messages and
+// covers, download a mailbox, and (for the round driver) trigger
+// round execution. Server-to-server mixing traffic runs in-process
+// inside core.Network; DESIGN.md documents this substitution.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame; a full round's submissions for
+// one user are far below this, and the cap keeps a malicious peer
+// from ballooning server memory.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("rpc: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("rpc: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame, enforcing MaxFrameSize.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("rpc: reading frame body: %w", err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,356 @@
+package rpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/onion"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 5000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame round trip: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized frame written")
+	}
+	// A forged oversized header must be rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestSelfSignedTLSPinning(t *testing.T) {
+	s1, c1, err := SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == nil || c1 == nil || c2 == nil {
+		t.Fatal("nil configs")
+	}
+	if len(s1.Certificates) != 1 {
+		t.Fatal("server config missing certificate")
+	}
+	// Configs from different generations must not share roots.
+	if c1.RootCAs == c2.RootCAs {
+		t.Fatal("root pools shared across generations")
+	}
+}
+
+// newDeployment starts a gateway over a small in-process network.
+func newDeployment(t testing.TB) (*core.Network, *Server) {
+	t.Helper()
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          6,
+		ChainLengthOverride: 3,
+		Seed:                []byte("rpc-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	t.Cleanup(func() { srv.Close() })
+	return n, srv
+}
+
+func TestStatusOverTLS(t *testing.T) {
+	n, srv := newDeployment(t)
+	c, err := Dial(srv.Addr(), srv.ClientTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != n.Round() || st.NumChains != n.NumChains() || st.L != n.Plan().L {
+		t.Fatalf("status %+v disagrees with network", st)
+	}
+}
+
+// TestRemoteConversation runs a full two-user conversation where both
+// users interact with the deployment exclusively over TLS: params,
+// submit, trigger, fetch, decrypt.
+func TestRemoteConversation(t *testing.T) {
+	n, srv := newDeployment(t)
+
+	dial := func() *Client {
+		c, err := Dial(srv.Addr(), srv.ClientTLS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	aliceConn, bobConn, driver := dial(), dial(), dial()
+
+	aliceU := newRemoteUser(t, n)
+	bobU := newRemoteUser(t, n)
+	aliceU.StartConversation(bobU.PublicKey())
+	bobU.StartConversation(aliceU.PublicKey())
+	if err := aliceU.QueueMessage([]byte("over the wire")); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := driver.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, err := aliceU.BuildRound(st.Round, aliceConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := bobU.BuildRound(st.Round, bobConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aliceConn.Submit(aliceU.Mailbox(), outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bobConn.Submit(bobU.Mailbox(), outB); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := driver.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.HaltedChains) != 0 || len(rep.BlamedUsers) != 0 {
+		t.Fatalf("round misbehaved: %+v", rep)
+	}
+	l := n.Plan().L
+	if rep.Delivered != 2*l {
+		t.Fatalf("delivered %d, want %d", rep.Delivered, 2*l)
+	}
+
+	msgs, err := bobConn.Fetch(rep.Round, bobU.Mailbox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, bad := bobU.OpenMailbox(rep.Round, msgs)
+	if bad != 0 {
+		t.Fatalf("%d undecryptable", bad)
+	}
+	var got []byte
+	for _, r := range recv {
+		if r.FromPartner && r.Kind == onion.KindConversation {
+			got = r.Body
+		}
+	}
+	if string(got) != "over the wire" {
+		t.Fatalf("bob received %q", got)
+	}
+}
+
+// newRemoteUser builds a user against the network's plan with the
+// default AEAD (what a real remote client would construct locally).
+func newRemoteUser(t testing.TB, n *core.Network) *client.User {
+	t.Helper()
+	return client.NewUser(nil, n.Plan())
+}
+
+// TestRemoteUserChurn: a remote user submits covers, misses the next
+// round, and her covers run in her place.
+func TestRemoteUserChurn(t *testing.T) {
+	n, srv := newDeployment(t)
+	conn, err := Dial(srv.Addr(), srv.ClientTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	u := newRemoteUser(t, n)
+	out, err := u.BuildRound(n.Round(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Submit(u.Mailbox(), out); err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := conn.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Delivered != n.Plan().L {
+		t.Fatalf("round 1 delivered %d", rep1.Delivered)
+	}
+	// She misses round 2: her covers must run.
+	rep2, err := conn.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.OfflineCovered != 1 {
+		t.Fatalf("OfflineCovered = %d, want 1", rep2.OfflineCovered)
+	}
+	if rep2.Delivered != n.Plan().L {
+		t.Fatalf("round 2 delivered %d, want ℓ", rep2.Delivered)
+	}
+	msgs, err := conn.Fetch(rep2.Round, u.Mailbox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != n.Plan().L {
+		t.Fatalf("mailbox has %d messages", len(msgs))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	n, srv := newDeployment(t)
+	conn, err := Dial(srv.Addr(), srv.ClientTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	u := newRemoteUser(t, n)
+	out, err := u.BuildRound(n.Round(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong round is rejected.
+	stale := *out
+	stale.Round = out.Round + 5
+	if err := conn.Submit(u.Mailbox(), &stale); err == nil {
+		t.Fatal("stale-round submission accepted")
+	}
+	// Duplicate submission is rejected.
+	if err := conn.Submit(u.Mailbox(), out); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Submit(u.Mailbox(), out); err == nil {
+		t.Fatal("duplicate submission accepted")
+	}
+	// Corrupt wire key is rejected at parse time.
+	req := SubmitRequest{Round: out.Round, Mailbox: []byte("eve")}
+	bad := submissionToWire(out.Current[0].Chain, out.Current[0].Sub)
+	bad.DHKey = bytes.Repeat([]byte{0xFF}, len(bad.DHKey))
+	req.Current = []WireSubmission{bad}
+	var resp SubmitResponse
+	err = conn.call("submit", req, &resp)
+	if err == nil || !strings.Contains(err.Error(), "point") {
+		t.Fatalf("off-curve key accepted: %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, srv := newDeployment(t)
+	conn, err := Dial(srv.Addr(), srv.ClientTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var out struct{}
+	if err := conn.call("nonsense", struct{}{}, &out); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestDialRejectsUntrustedServer(t *testing.T) {
+	_, srv := newDeployment(t)
+	// A client trusting a different certificate must refuse the
+	// handshake — certificate pinning is the PKI stand-in.
+	_, wrongTrust, err := SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(srv.Addr(), wrongTrust); err == nil {
+		t.Fatal("handshake with untrusted certificate succeeded")
+	}
+}
+
+// TestManyConcurrentClients: the gateway must serve interleaved
+// requests from many connections; a full cohort of remote users
+// submits concurrently and one round delivers everything.
+func TestManyConcurrentClients(t *testing.T) {
+	n, srv := newDeployment(t)
+	const cohort = 8
+	users := make([]*client.User, cohort)
+	errs := make(chan error, cohort)
+	round := n.Round()
+	for i := 0; i < cohort; i++ {
+		users[i] = newRemoteUser(t, n)
+		go func(u *client.User) {
+			conn, err := Dial(srv.Addr(), srv.ClientTLS())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			out, err := u.BuildRound(round, conn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- conn.Submit(u.Mailbox(), out)
+		}(users[i])
+	}
+	for i := 0; i < cohort; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	driver, err := Dial(srv.Addr(), srv.ClientTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	rep, err := driver.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cohort * n.Plan().L; rep.Delivered != want {
+		t.Fatalf("delivered %d, want %d", rep.Delivered, want)
+	}
+	for i, u := range users {
+		msgs, err := driver.Fetch(rep.Round, u.Mailbox())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, bad := u.OpenMailbox(rep.Round, msgs)
+		if bad != 0 || len(recv) != n.Plan().L {
+			t.Fatalf("user %d: %d messages (%d bad)", i, len(recv), bad)
+		}
+	}
+}

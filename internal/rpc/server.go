@@ -1,0 +1,225 @@
+package rpc
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// Server exposes a core.Network to remote users over TLS: parameter
+// distribution, message submission, mailbox download, deployment
+// status, and round driving.
+type Server struct {
+	network *core.Network
+	ln      net.Listener
+
+	serverTLS *tls.Config
+	clientTLS *tls.Config
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer starts a TLS listener on addr (e.g. "127.0.0.1:0")
+// serving the given network. Connections are handled until Close.
+func NewServer(network *core.Network, addr string) (*Server, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	serverTLS, clientTLS, err := SelfSignedTLS(host)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := tls.Listen("tcp", addr, serverTLS)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		network:   network,
+		ln:        ln,
+		serverTLS: serverTLS,
+		clientTLS: clientTLS,
+		conns:     make(map[net.Conn]bool),
+		Logf:      log.Printf,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ClientTLS returns a TLS config that trusts this server's ephemeral
+// certificate (how the PKI of §3.1 is modelled; see SelfSignedTLS).
+func (s *Server) ClientTLS() *tls.Config { return s.clientTLS.Clone() }
+
+// CertificatePEM returns the server certificate for out-of-band
+// distribution to client processes.
+func (s *Server) CertificatePEM() ([]byte, error) { return CertificatePEM(s.serverTLS) }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("rpc: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		var req request
+		if err := decode(frame, &req); err != nil {
+			s.Logf("rpc: bad request from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		resp := s.dispatch(req)
+		out, err := encode(resp)
+		if err != nil {
+			s.Logf("rpc: encoding response: %v", err)
+			return
+		}
+		if err := WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	body, err := s.handle(req.Method, req.Body)
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	return response{Body: body}
+}
+
+func (s *Server) handle(method string, body []byte) ([]byte, error) {
+	switch method {
+	case "params":
+		var pr ParamsRequest
+		if err := decode(body, &pr); err != nil {
+			return nil, err
+		}
+		p, err := s.network.ChainParams(pr.Chain, pr.Round)
+		if err != nil {
+			return nil, err
+		}
+		return encode(paramsToWire(p))
+
+	case "submit":
+		var sr SubmitRequest
+		if err := decode(body, &sr); err != nil {
+			return nil, err
+		}
+		out := &client.RoundOutput{Round: sr.Round}
+		for _, w := range sr.Current {
+			chain, sub, err := submissionFromWire(w)
+			if err != nil {
+				return nil, err
+			}
+			out.Current = append(out.Current, client.ChainMessage{Chain: chain, Sub: sub})
+		}
+		for _, w := range sr.Cover {
+			chain, sub, err := submissionFromWire(w)
+			if err != nil {
+				return nil, err
+			}
+			out.Cover = append(out.Cover, client.ChainMessage{Chain: chain, Sub: sub})
+		}
+		if err := s.network.SubmitExternal(string(sr.Mailbox), out); err != nil {
+			return nil, err
+		}
+		return encode(SubmitResponse{Accepted: true})
+
+	case "fetch":
+		var fr FetchRequest
+		if err := decode(body, &fr); err != nil {
+			return nil, err
+		}
+		msgs := s.network.FetchMailbox(fr.Round, fr.Mailbox)
+		return encode(FetchResponse{Messages: msgs})
+
+	case "status":
+		return encode(StatusResponse{
+			Round:       s.network.Round(),
+			NumChains:   s.network.NumChains(),
+			ChainLength: s.network.Topology().ChainLength,
+			L:           s.network.Plan().L,
+		})
+
+	case "runround":
+		rep, err := s.network.RunRound()
+		if err != nil {
+			return nil, err
+		}
+		return encode(RunRoundResponse{
+			Round:          rep.Round,
+			Delivered:      rep.Delivered,
+			HaltedChains:   rep.HaltedChains,
+			FailedChains:   rep.FailedChains,
+			BlamedUsers:    rep.BlamedUsers,
+			OfflineCovered: rep.OfflineCovered,
+		})
+
+	default:
+		return nil, fmt.Errorf("rpc: unknown method %q", method)
+	}
+}

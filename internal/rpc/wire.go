@@ -1,0 +1,187 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/group"
+	"repro/internal/mix"
+	"repro/internal/nizk"
+	"repro/internal/onion"
+)
+
+// Wire DTOs: every group element and proof crosses the network as
+// canonical bytes and is re-validated on arrival (ParsePoint rejects
+// off-curve encodings, ParseProof rejects non-canonical scalars).
+
+// request wraps every client->server message with a method tag.
+type request struct {
+	Method string
+	Body   []byte
+}
+
+// response wraps every server->client message; Err is empty on
+// success.
+type response struct {
+	Err  string
+	Body []byte
+}
+
+// ParamsRequest asks for a chain's public parameters for a round.
+type ParamsRequest struct {
+	Chain int
+	Round uint64
+}
+
+// ParamsResponse carries mix.Params in wire form.
+type ParamsResponse struct {
+	ChainID        int
+	Round          uint64
+	MixKeys        [][]byte
+	BlindKeys      [][]byte
+	BaselineKeys   [][]byte
+	InnerAggregate []byte
+}
+
+// WireSubmission is one onion.Submission in wire form.
+type WireSubmission struct {
+	Chain int
+	DHKey []byte
+	Ct    []byte
+	Proof []byte
+}
+
+// SubmitRequest carries a user's full round output: current messages
+// for Round and covers for Round+1 (§5.3.3). Mailbox identifies the
+// submitter for cover bookkeeping only; chains never see it.
+type SubmitRequest struct {
+	Round   uint64
+	Mailbox []byte
+	Current []WireSubmission
+	Cover   []WireSubmission
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	Accepted bool
+}
+
+// FetchRequest downloads a mailbox for a round.
+type FetchRequest struct {
+	Round   uint64
+	Mailbox []byte
+}
+
+// FetchResponse carries the mailbox contents.
+type FetchResponse struct {
+	Messages [][]byte
+}
+
+// StatusResponse describes the deployment.
+type StatusResponse struct {
+	Round       uint64
+	NumChains   int
+	ChainLength int
+	L           int
+}
+
+// RunRoundResponse summarises an executed round for the driver.
+type RunRoundResponse struct {
+	Round          uint64
+	Delivered      int
+	HaltedChains   []int
+	FailedChains   []int
+	BlamedUsers    []string
+	OfflineCovered int
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decoding %T: %w", v, err)
+	}
+	return nil
+}
+
+// paramsToWire converts mix.Params for transmission.
+func paramsToWire(p mix.Params) ParamsResponse {
+	out := ParamsResponse{
+		ChainID:        p.ChainID,
+		Round:          p.Round,
+		InnerAggregate: p.InnerAggregate.Bytes(),
+	}
+	for _, k := range p.MixKeys {
+		out.MixKeys = append(out.MixKeys, k.Bytes())
+	}
+	for _, k := range p.BlindKeys {
+		out.BlindKeys = append(out.BlindKeys, k.Bytes())
+	}
+	for _, k := range p.BaselineKeys {
+		out.BaselineKeys = append(out.BaselineKeys, k.Bytes())
+	}
+	return out
+}
+
+// paramsFromWire validates and converts a received ParamsResponse.
+func paramsFromWire(w ParamsResponse) (mix.Params, error) {
+	p := mix.Params{ChainID: w.ChainID, Round: w.Round}
+	var err error
+	if p.InnerAggregate, err = group.ParsePoint(w.InnerAggregate); err != nil {
+		return mix.Params{}, fmt.Errorf("rpc: inner aggregate: %w", err)
+	}
+	parse := func(in [][]byte, what string) ([]group.Point, error) {
+		out := make([]group.Point, len(in))
+		for i, b := range in {
+			pt, err := group.ParsePoint(b)
+			if err != nil {
+				return nil, fmt.Errorf("rpc: %s %d: %w", what, i, err)
+			}
+			out[i] = pt
+		}
+		return out, nil
+	}
+	if p.MixKeys, err = parse(w.MixKeys, "mix key"); err != nil {
+		return mix.Params{}, err
+	}
+	if p.BlindKeys, err = parse(w.BlindKeys, "blind key"); err != nil {
+		return mix.Params{}, err
+	}
+	if p.BaselineKeys, err = parse(w.BaselineKeys, "baseline key"); err != nil {
+		return mix.Params{}, err
+	}
+	return p, nil
+}
+
+// submissionToWire converts a chain submission for transmission.
+func submissionToWire(chain int, s onion.Submission) WireSubmission {
+	return WireSubmission{
+		Chain: chain,
+		DHKey: s.DHKey.Bytes(),
+		Ct:    append([]byte(nil), s.Ct...),
+		Proof: s.Proof.Bytes(),
+	}
+}
+
+// submissionFromWire validates and converts a received submission.
+func submissionFromWire(w WireSubmission) (int, onion.Submission, error) {
+	key, err := group.ParsePoint(w.DHKey)
+	if err != nil {
+		return 0, onion.Submission{}, fmt.Errorf("rpc: submission key: %w", err)
+	}
+	proof, err := nizk.ParseProof(w.Proof)
+	if err != nil {
+		return 0, onion.Submission{}, fmt.Errorf("rpc: submission proof: %w", err)
+	}
+	return w.Chain, onion.Submission{
+		Envelope: onion.Envelope{DHKey: key, Ct: w.Ct},
+		Proof:    proof,
+	}, nil
+}

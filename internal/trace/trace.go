@@ -1,0 +1,99 @@
+// Package trace generates workloads for experiments and benchmarks:
+// user populations, conversation pairings, message corpora, and churn
+// schedules. The paper's evaluation (§8) assumes every user is in a
+// conversation for the availability experiment and mixes idle and
+// conversing users elsewhere; both shapes are producible here.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload describes one synthetic round-driving scenario.
+type Workload struct {
+	// NumUsers is the population size.
+	NumUsers int
+	// Pairs lists conversing pairs as user-index tuples; users appear
+	// in at most one pair. Unpaired users are idle (loopback-only).
+	Pairs [][2]int
+	// Bodies[i] is the message user Pairs[i][0] sends to Pairs[i][1]
+	// in the first round (and vice versa reversed).
+	Bodies [][]byte
+}
+
+// Config parameterises workload generation.
+type Config struct {
+	// NumUsers is the population size.
+	NumUsers int
+	// PairedFraction is the fraction of users in conversations
+	// (1.0 reproduces §8.3's "all users were in a conversation").
+	PairedFraction float64
+	// BodySize is the plaintext size per message; the paper uses 256.
+	BodySize int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Generate builds a workload.
+func Generate(cfg Config) (*Workload, error) {
+	if cfg.NumUsers < 0 {
+		return nil, fmt.Errorf("trace: negative population %d", cfg.NumUsers)
+	}
+	if cfg.PairedFraction < 0 || cfg.PairedFraction > 1 {
+		return nil, fmt.Errorf("trace: paired fraction %v outside [0,1]", cfg.PairedFraction)
+	}
+	if cfg.BodySize < 0 {
+		return nil, fmt.Errorf("trace: negative body size %d", cfg.BodySize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{NumUsers: cfg.NumUsers}
+
+	// Shuffle users and pair a prefix.
+	perm := rng.Perm(cfg.NumUsers)
+	wantPaired := int(float64(cfg.NumUsers) * cfg.PairedFraction)
+	wantPaired -= wantPaired % 2
+	for i := 0; i+1 < wantPaired; i += 2 {
+		w.Pairs = append(w.Pairs, [2]int{perm[i], perm[i+1]})
+		w.Bodies = append(w.Bodies, randomBody(rng, cfg.BodySize))
+	}
+	return w, nil
+}
+
+func randomBody(rng *rand.Rand, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return b
+}
+
+// PairedUsers returns the number of users in conversations.
+func (w *Workload) PairedUsers() int { return 2 * len(w.Pairs) }
+
+// IdleUsers returns the number of loopback-only users.
+func (w *Workload) IdleUsers() int { return w.NumUsers - w.PairedUsers() }
+
+// ChurnSchedule lists, per round, which users go offline (by index).
+type ChurnSchedule [][]int
+
+// GenerateChurn produces a schedule where each user independently
+// goes offline with the given per-round probability.
+func GenerateChurn(numUsers, rounds int, rate float64, seed int64) (ChurnSchedule, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("trace: churn rate %v outside [0,1]", rate)
+	}
+	if rounds < 0 || numUsers < 0 {
+		return nil, fmt.Errorf("trace: negative rounds or users")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := make(ChurnSchedule, rounds)
+	for r := range sched {
+		for u := 0; u < numUsers; u++ {
+			if rng.Float64() < rate {
+				sched[r] = append(sched[r], u)
+			}
+		}
+	}
+	return sched, nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateAllPaired(t *testing.T) {
+	w, err := Generate(Config{NumUsers: 100, PairedFraction: 1, BodySize: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PairedUsers() != 100 || w.IdleUsers() != 0 {
+		t.Fatalf("paired=%d idle=%d", w.PairedUsers(), w.IdleUsers())
+	}
+	seen := make(map[int]bool)
+	for i, p := range w.Pairs {
+		if seen[p[0]] || seen[p[1]] || p[0] == p[1] {
+			t.Fatalf("pair %d reuses a user: %v", i, p)
+		}
+		seen[p[0]], seen[p[1]] = true, true
+		if len(w.Bodies[i]) != 256 {
+			t.Fatalf("body %d has size %d", i, len(w.Bodies[i]))
+		}
+	}
+}
+
+func TestGenerateHalfPaired(t *testing.T) {
+	w, err := Generate(Config{NumUsers: 101, PairedFraction: 0.5, BodySize: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PairedUsers() != 50 {
+		t.Fatalf("paired = %d, want 50", w.PairedUsers())
+	}
+	if w.IdleUsers() != 51 {
+		t.Fatalf("idle = %d, want 51", w.IdleUsers())
+	}
+}
+
+func TestGenerateNonePaired(t *testing.T) {
+	w, err := Generate(Config{NumUsers: 10, PairedFraction: 0, BodySize: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Pairs) != 0 || w.IdleUsers() != 10 {
+		t.Fatalf("pairs=%d idle=%d", len(w.Pairs), w.IdleUsers())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumUsers: -1}); err == nil {
+		t.Fatal("negative users accepted")
+	}
+	if _, err := Generate(Config{NumUsers: 10, PairedFraction: 1.2}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := Generate(Config{NumUsers: 10, BodySize: -2}); err == nil {
+		t.Fatal("negative body accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{NumUsers: 50, PairedFraction: 1, BodySize: 32, Seed: 7})
+	b, _ := Generate(Config{NumUsers: 50, PairedFraction: 1, BodySize: 32, Seed: 7})
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] || string(a.Bodies[i]) != string(b.Bodies[i]) {
+			t.Fatal("nondeterministic generation")
+		}
+	}
+}
+
+func TestQuickPairInvariant(t *testing.T) {
+	f := func(nRaw uint8, fracRaw uint8, seed int64) bool {
+		n := int(nRaw)
+		frac := float64(fracRaw) / 255
+		w, err := Generate(Config{NumUsers: n, PairedFraction: frac, BodySize: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, p := range w.Pairs {
+			if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n || p[0] == p[1] {
+				return false
+			}
+			if seen[p[0]] || seen[p[1]] {
+				return false
+			}
+			seen[p[0]], seen[p[1]] = true, true
+		}
+		return w.PairedUsers()+w.IdleUsers() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateChurn(t *testing.T) {
+	sched, err := GenerateChurn(100, 10, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 10 {
+		t.Fatalf("rounds = %d", len(sched))
+	}
+	total := 0
+	for _, r := range sched {
+		total += len(r)
+		for _, u := range r {
+			if u < 0 || u >= 100 {
+				t.Fatalf("user %d out of range", u)
+			}
+		}
+	}
+	// Expect ≈100 offline events over 10 rounds at 10%.
+	if total < 50 || total > 160 {
+		t.Fatalf("total offline events = %d, want ≈100", total)
+	}
+}
+
+func TestGenerateChurnValidation(t *testing.T) {
+	if _, err := GenerateChurn(10, 5, -0.1, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := GenerateChurn(-1, 5, 0.1, 1); err == nil {
+		t.Fatal("negative users accepted")
+	}
+}
