@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/aead"
@@ -238,6 +239,72 @@ func BenchmarkHeadlineEndToEnd(b *testing.B) {
 		}
 		if len(rep.HaltedChains) != 0 {
 			b.Fatal("halted")
+		}
+	}
+}
+
+// BenchmarkRoundPipeline measures the parallel round pipeline:
+// end-to-end rounds (build fan-out over registry shards, concurrent
+// chain mixing, concurrent mailbox delivery) swept over user counts
+// and build-worker counts. Per-round user throughput is reported as
+// users/s; comparing workers=1 against workers=GOMAXPROCS shows the
+// pipeline's scaling on the host (near-linear until the chain-mix
+// stage saturates). EXPERIMENTS.md records trajectories.
+func BenchmarkRoundPipeline(b *testing.B) {
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1}
+	for w := 2; w <= maxWorkers; w *= 2 {
+		workerCounts = append(workerCounts, w)
+	}
+	if last := workerCounts[len(workerCounts)-1]; last != maxWorkers {
+		workerCounts = append(workerCounts, maxWorkers)
+	}
+	for _, users := range []int{100, 1_000, 10_000} {
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("users=%d/workers=%d", users, workers), func(b *testing.B) {
+				net, err := core.NewNetwork(core.Config{
+					NumServers:          6,
+					ChainLengthOverride: 2,
+					Seed:                []byte("pipeline"),
+					MailboxServers:      4,
+					Workers:             workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				population := make([]*client.User, users)
+				for i := range population {
+					population[i] = net.NewUser()
+				}
+				// A tenth of the population converses so the batches
+				// carry a realistic mix of loopbacks and messages.
+				for i := 0; i+1 < len(population)/10; i += 2 {
+					a, p := population[i], population[i+1]
+					if err := a.StartConversation(p.PublicKey()); err != nil {
+						b.Fatal(err)
+					}
+					if err := p.StartConversation(a.PublicKey()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				l := net.Plan().L
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := net.RunRound()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rep.HaltedChains) != 0 {
+						b.Fatal("halted")
+					}
+					if rep.Delivered != users*l {
+						b.Fatalf("delivered %d, want %d", rep.Delivered, users*l)
+					}
+					net.PruneBefore(rep.Round)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(users)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+			})
 		}
 	}
 }

@@ -4,6 +4,9 @@
 // the laptop-scale counterpart of the paper's testbed runs.
 //
 //	xrd-sim -users 200 -servers 20 -k 6 -rounds 5 -paired 1.0 -user-churn 0.05
+//
+// -workers sizes the round pipeline's build worker pool (0 = one per
+// CPU); -workers 1 reproduces the serial build for comparisons.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 		userChurn = flag.Float64("user-churn", 0, "per-round probability a user goes offline")
 		attack    = flag.Bool("attack", false, "corrupt one server with a product-preserving tamper")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		workers   = flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -35,6 +39,7 @@ func main() {
 		NumServers:          *servers,
 		ChainLengthOverride: *k,
 		Seed:                []byte("xrd-sim"),
+		Workers:             *workers,
 	})
 	if err != nil {
 		log.Fatalf("assembling network: %v", err)
@@ -64,8 +69,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("xrd-sim: %d users (%d conversing, %d idle) on %d chains of %d, l=%d\n",
-		*users, w.PairedUsers(), w.IdleUsers(), net.NumChains(), net.Topology().ChainLength, net.Plan().L)
+	fmt.Printf("xrd-sim: %d users (%d conversing, %d idle) on %d chains of %d, l=%d, %d build workers\n",
+		*users, w.PairedUsers(), w.IdleUsers(), net.NumChains(), net.Topology().ChainLength, net.Plan().L, net.Workers())
 
 	if *attack {
 		if err := net.CorruptServer(0, 1, &mix.Corruption{TamperPairs: [][2]int{{0, 1}}}); err != nil {

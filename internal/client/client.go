@@ -14,6 +14,15 @@
 // conversation, amortising the ℓ messages across partners. A clash —
 // two partners meeting this user on the same chain — is rejected,
 // matching the limitation the paper states.
+//
+// Concurrency contract: a User is single-owner state. BuildRound and
+// OpenMailbox mutate conversation state (outbox drains, offline
+// signals), so each User must be driven by one goroutine at a time;
+// the core round pipeline enforces this by locking a user's registry
+// shard around her build. Distinct Users share no mutable state —
+// ParamsSource and the chain-selection Plan are read-only here — so
+// building many users in parallel is safe and is exactly what the
+// pipeline does.
 package client
 
 import (
@@ -280,9 +289,10 @@ func (u *User) buildLane(round uint64, lane byte, src ParamsSource) ([]ChainMess
 	mailboxNonce := aead.RoundNonce(round, lane)
 	chainNonce := aead.RoundNonce(round, LaneCurrent)
 
-	var out []ChainMessage
-	used := make(map[int]bool) // first occurrence of a chain carries its conversation
-	for _, chain := range u.Chains() {
+	chains := u.Chains()
+	out := make([]ChainMessage, 0, len(chains))
+	used := make(map[int]bool, len(u.partners)) // first occurrence of a chain carries its conversation
+	for _, chain := range chains {
 		params, err := src.ChainParams(chain, round)
 		if err != nil {
 			return nil, err

@@ -3,11 +3,30 @@
 //
 // A Network owns the mix servers organised into parallel anytrust
 // chains (§5.2), the mailbox cluster (§5.1), the deterministic
-// chain-selection plan (§5.3.1) and the user registry. Each call to
-// RunRound executes one communication round end to end (Figure 1):
-// users build their ℓ messages plus the next round's covers, every
-// chain mixes with aggregate-hybrid-shuffle verification (§6),
-// results land in mailboxes, and users fetch and decrypt.
+// chain-selection plan (§5.3.1) and the sharded user registry. Each
+// call to RunRound executes one communication round end to end
+// (Figure 1): users build their ℓ messages plus the next round's
+// covers, every chain mixes with aggregate-hybrid-shuffle
+// verification (§6), results land in mailboxes, and users fetch and
+// decrypt.
+//
+// Round execution is a parallel pipeline. User onion building — the
+// dominant client-side cost the paper trades against PIR-style
+// designs — fans out over a worker pool sized by Config.Workers
+// (default GOMAXPROCS): workers claim registry shards, build every
+// online user in a shard under that shard's lock, and emit
+// submissions into worker-local per-chain accumulators that are
+// merged per chain afterwards, so no global lock is held anywhere on
+// the build path. Chains then mix concurrently (they are independent
+// local mix-nets, §4.2), deliveries stream to the mailbox cluster
+// concurrently per chain, and blame/removal bookkeeping touches only
+// the convicted user's owning shard.
+//
+// Registry operations (NewUser, SetOnline, IsRemoved, NumUsers) and
+// mailbox fetches are safe to call concurrently with RunRound; a user
+// registered mid-round joins either the running round or the next
+// one, depending on whether her shard was already built. RunRound
+// itself is serialised: concurrent calls execute one at a time.
 //
 // Misbehaviour injected through CorruptServer or InjectSubmission
 // surfaces in the RoundReport: halted chains, blamed servers, blamed
@@ -16,7 +35,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/aead"
 	"repro/internal/chainsel"
@@ -50,20 +71,40 @@ type Config struct {
 	// DisableStaggering turns off position staggering (§5.2.1), for
 	// the ablation benchmark.
 	DisableStaggering bool
+	// Workers sizes the round pipeline's build worker pool; zero
+	// means runtime.GOMAXPROCS(0). One worker reproduces the serial
+	// build order for deterministic comparisons.
+	Workers int
 }
 
 // Network is a fully assembled XRD deployment.
 type Network struct {
-	cfg    Config
-	scheme aead.Scheme
-	plan   *chainsel.Plan
-	topo   *topology.Topology
-	chains []*mix.Chain
-	boxes  *mailbox.Cluster
+	cfg     Config
+	scheme  aead.Scheme
+	plan    *chainsel.Plan
+	topo    *topology.Topology
+	chains  []*mix.Chain
+	boxes   *mailbox.Cluster
+	workers int
 
+	// reg is the sharded user registry; see registry.go for its
+	// locking rules.
+	reg *registry
+
+	// runMu serialises RunRound executions.
+	runMu sync.Mutex
+
+	// mu guards the control state below — never user state, which
+	// lives behind per-shard locks in reg.
 	mu    sync.Mutex
 	round uint64
-	users map[string]*registeredUser
+	// collected is the highest round whose external traffic has been
+	// folded into batches. The round counter only advances after
+	// mixing and delivery, so SubmitExternal must check this
+	// watermark too: a submission for the still-open round that
+	// arrives after collection would otherwise be accepted and then
+	// silently never mixed.
+	collected uint64
 	// failedServers marks crashed mix servers; chains containing one
 	// are skipped and their conversations fail for the round (§5.2.3).
 	failedServers map[int]bool
@@ -72,22 +113,6 @@ type Network struct {
 	injected map[int][]onion.Submission
 	// externals are network-transport users (see external.go).
 	externals map[string]*externalUser
-}
-
-type registeredUser struct {
-	u       *client.User
-	online  bool
-	removed bool
-	// cover holds the covers submitted last round, usable exactly in
-	// round coverRound if the user is offline (§5.3.3).
-	cover      []client.ChainMessage
-	coverRound uint64
-	// coversUsed records that the covers ran while the user was away:
-	// the KindOffline signal went out and the partner reverted to
-	// loopbacks, so on reconnection the user's conversation is over
-	// and must be re-initiated out-of-band (§5.3.3: "this could be
-	// used to end conversations as well").
-	coversUsed bool
 }
 
 // NewNetwork builds the topology, keys every chain, and announces
@@ -119,14 +144,24 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building mailbox cluster: %w", err)
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Workers claim whole shards, so more workers than shards would
+	// just idle; cap here so Workers() reports the effective count.
+	if workers > numShards {
+		workers = numShards
+	}
 	n := &Network{
 		cfg:           cfg,
 		scheme:        cfg.Scheme,
 		plan:          plan,
 		topo:          topo,
 		boxes:         boxes,
+		workers:       workers,
 		round:         1,
-		users:         make(map[string]*registeredUser),
+		reg:           newRegistry(),
 		failedServers: make(map[int]bool),
 		injected:      make(map[int][]onion.Submission),
 	}
@@ -164,6 +199,9 @@ func (n *Network) Topology() *topology.Topology { return n.topo }
 // NumChains returns n, the number of mix chains.
 func (n *Network) NumChains() int { return len(n.chains) }
 
+// Workers returns the size of the round pipeline's build worker pool.
+func (n *Network) Workers() int { return n.workers }
+
 // Round returns the upcoming round number.
 func (n *Network) Round() uint64 {
 	n.mu.Lock()
@@ -180,26 +218,19 @@ func (n *Network) ChainParams(chain int, round uint64) (mix.Params, error) {
 }
 
 // NewUser creates and registers a user; she participates in every
-// round until she goes offline or is removed for misbehaviour.
+// round until she goes offline or is removed for misbehaviour. Safe
+// to call concurrently with a running round: the user joins the round
+// if her registry shard has not been built yet, the next one
+// otherwise.
 func (n *Network) NewUser() *client.User {
 	u := client.NewUser(n.scheme, n.plan)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.users[string(u.Mailbox())] = &registeredUser{u: u, online: true}
+	n.reg.insert(string(u.Mailbox()), &registeredUser{u: u, online: true})
 	return u
 }
 
 // NumUsers returns the number of registered, non-removed users.
 func (n *Network) NumUsers() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	c := 0
-	for _, ru := range n.users {
-		if !ru.removed {
-			c++
-		}
-	}
-	return c
+	return n.reg.countActive()
 }
 
 // SetOnline marks a user online or offline for subsequent rounds. The
@@ -208,25 +239,22 @@ func (n *Network) NumUsers() int {
 // was ended by the offline signal, so reconnecting reverts her to
 // loopback traffic until a conversation is re-initiated.
 func (n *Network) SetOnline(u *client.User, online bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ru, ok := n.users[string(u.Mailbox())]
-	if !ok {
-		return
-	}
-	if online && !ru.online && ru.coversUsed {
-		ru.u.EndAllConversations()
-		ru.coversUsed = false
-	}
-	ru.online = online
+	n.reg.update(string(u.Mailbox()), func(ru *registeredUser) {
+		if online && !ru.online && ru.coversUsed {
+			ru.u.EndAllConversations()
+			ru.coversUsed = false
+		}
+		ru.online = online
+	})
 }
 
 // IsRemoved reports whether the user was removed for misbehaviour.
 func (n *Network) IsRemoved(u *client.User) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ru, ok := n.users[string(u.Mailbox())]
-	return ok && ru.removed
+	removed := false
+	ok := n.reg.view(string(u.Mailbox()), func(ru *registeredUser) {
+		removed = ru.removed
+	})
+	return ok && removed
 }
 
 // FailServer crashes a mix server: every chain containing it halts
@@ -314,30 +342,136 @@ type chainBatch struct {
 	submitters []string
 }
 
-// RunRound executes the upcoming round across every chain in
-// parallel and advances the round counter. Blamed users are removed
-// from the network before the next round.
-func (n *Network) RunRound() (*RoundReport, error) {
-	n.mu.Lock()
-	rho := n.round
-	report := &RoundReport{Round: rho}
+func (b *chainBatch) add(sub onion.Submission, who string) {
+	b.subs = append(b.subs, sub)
+	b.submitters = append(b.submitters, who)
+}
 
-	// Build per-chain batches from online users; offline users are
-	// covered by last round's covers exactly once (§5.3.3).
-	batches := make([]chainBatch, len(n.chains))
-	for key, ru := range n.users {
+// roundParams is an immutable per-round snapshot of every chain's
+// public parameters for rounds ρ and ρ+1. Build workers read it
+// without any lock, and it saves each of the M·ℓ·2 per-message
+// parameter lookups from reassembling key slices.
+type roundParams struct {
+	rho  uint64
+	cur  []mix.Params
+	next []mix.Params
+}
+
+// ChainParams implements client.ParamsSource.
+func (p *roundParams) ChainParams(chain int, round uint64) (mix.Params, error) {
+	if chain < 0 || chain >= len(p.cur) {
+		return mix.Params{}, fmt.Errorf("core: no chain %d", chain)
+	}
+	switch round {
+	case p.rho:
+		return p.cur[chain], nil
+	case p.rho + 1:
+		return p.next[chain], nil
+	}
+	return mix.Params{}, fmt.Errorf("core: no parameter snapshot for round %d", round)
+}
+
+// snapshotParams captures every chain's parameters for rounds rho and
+// rho+1 (covers are built for the next round, §5.3.3).
+func (n *Network) snapshotParams(rho uint64) (*roundParams, error) {
+	p := &roundParams{
+		rho:  rho,
+		cur:  make([]mix.Params, len(n.chains)),
+		next: make([]mix.Params, len(n.chains)),
+	}
+	for c, chain := range n.chains {
+		var err error
+		if p.cur[c], err = chain.ParamsFor(rho); err != nil {
+			return nil, fmt.Errorf("core: snapshotting chain %d: %w", c, err)
+		}
+		if p.next[c], err = chain.ParamsFor(rho + 1); err != nil {
+			return nil, fmt.Errorf("core: snapshotting chain %d: %w", c, err)
+		}
+	}
+	return p, nil
+}
+
+// buildAcc is one build worker's private accumulator: per-chain
+// batches plus bookkeeping counters. Workers never share accumulators,
+// so the build fan-out appends without synchronisation.
+type buildAcc struct {
+	batches []chainBatch
+	covered int
+	err     error
+}
+
+// buildBatches fans user onion building out over the worker pool.
+// Workers claim registry shards from an atomic cursor and build every
+// non-removed user in a claimed shard under that shard's lock: online
+// users build fresh messages and bank next-round covers, offline
+// users spend their banked covers exactly once (§5.3.3). The
+// worker-local per-chain slices are then merged into one batch per
+// chain. Returns the merged batches and the offline-covered count.
+func (n *Network) buildBatches(rho uint64, src client.ParamsSource) ([]chainBatch, int, error) {
+	workers := n.workers
+	accs := make([]buildAcc, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(acc *buildAcc) {
+			defer wg.Done()
+			acc.batches = make([]chainBatch, len(n.chains))
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= numShards {
+					return
+				}
+				if err := n.buildShard(&n.reg.shards[i], rho, src, acc); err != nil {
+					acc.err = err
+					return
+				}
+			}
+		}(&accs[w])
+	}
+	wg.Wait()
+
+	covered := 0
+	for w := range accs {
+		if accs[w].err != nil {
+			return nil, 0, accs[w].err
+		}
+		covered += accs[w].covered
+	}
+	merged := make([]chainBatch, len(n.chains))
+	for c := range merged {
+		total := 0
+		for w := range accs {
+			total += len(accs[w].batches[c].subs)
+		}
+		merged[c].subs = make([]onion.Submission, 0, total)
+		merged[c].submitters = make([]string, 0, total)
+		for w := range accs {
+			merged[c].subs = append(merged[c].subs, accs[w].batches[c].subs...)
+			merged[c].submitters = append(merged[c].submitters, accs[w].batches[c].submitters...)
+		}
+	}
+	return merged, covered, nil
+}
+
+// buildShard builds one registry shard's users into the worker's
+// accumulator. The shard lock is held for the duration, so presence
+// changes and conversation mutations for these users serialise
+// against the build — and against nothing else.
+func (n *Network) buildShard(sh *userShard, rho uint64, src client.ParamsSource, acc *buildAcc) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for key, ru := range sh.users {
 		if ru.removed {
 			continue
 		}
 		if ru.online {
-			out, err := ru.u.BuildRound(rho, n)
+			out, err := ru.u.BuildRound(rho, src)
 			if err != nil {
-				n.mu.Unlock()
-				return nil, fmt.Errorf("core: user build failed: %w", err)
+				return fmt.Errorf("core: user build failed: %w", err)
 			}
 			for _, cm := range out.Current {
-				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
-				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, key)
+				acc.batches[cm.Chain].add(cm.Sub, key)
 			}
 			ru.cover = out.Cover
 			ru.coverRound = rho + 1
@@ -345,28 +479,69 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		}
 		if ru.cover != nil && ru.coverRound == rho {
 			for _, cm := range ru.cover {
-				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
-				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, key)
+				acc.batches[cm.Chain].add(cm.Sub, key)
 			}
 			ru.cover = nil
 			ru.coversUsed = true
-			report.OfflineCovered++
+			acc.covered++
 		}
 	}
-	report.OfflineCovered += n.collectExternalsLocked(rho, batches)
-	for chain, subs := range n.injected {
-		for _, sub := range subs {
-			batches[chain].subs = append(batches[chain].subs, sub)
-			batches[chain].submitters = append(batches[chain].submitters, fmt.Sprintf("injected:%d", chain))
-		}
-	}
-	n.injected = make(map[int][]onion.Submission)
+	return nil
+}
 
+// RunRound executes the upcoming round and advances the round
+// counter: parallel onion building over the registry shards, parallel
+// mixing across chains, parallel delivery into the mailbox cluster.
+// Blamed users are removed from the network before the next round.
+// Concurrent RunRound calls are serialised.
+func (n *Network) RunRound() (*RoundReport, error) {
+	n.runMu.Lock()
+	defer n.runMu.Unlock()
+
+	n.mu.Lock()
+	rho := n.round
+	injected := n.injected
+	n.injected = make(map[int][]onion.Submission)
 	failed := make(map[int]bool, len(n.failedServers))
 	for s := range n.failedServers {
 		failed[s] = true
 	}
 	n.mu.Unlock()
+
+	report := &RoundReport{Round: rho}
+
+	// Stage 1: build. Fan the per-user onion construction out over
+	// the worker pool against an immutable parameter snapshot.
+	snap, err := n.snapshotParams(rho)
+	if err != nil {
+		return nil, err
+	}
+	batches, covered, err := n.buildBatches(rho, snap)
+	if err != nil {
+		return nil, err
+	}
+	report.OfflineCovered = covered
+
+	n.mu.Lock()
+	prevCollected := n.collected
+	report.OfflineCovered += n.collectExternalsLocked(rho, batches)
+	n.mu.Unlock()
+	// reopenExternals rolls the submission watermark back if the
+	// round fails after collection: the round will be retried, so
+	// external users must be able to resubmit for it (their collected
+	// traffic was consumed by the failed attempt).
+	reopenExternals := func() {
+		n.mu.Lock()
+		if n.collected == rho {
+			n.collected = prevCollected
+		}
+		n.mu.Unlock()
+	}
+	for chain, subs := range injected {
+		for _, sub := range subs {
+			batches[chain].add(sub, fmt.Sprintf("injected:%d", chain))
+		}
+	}
 
 	failedChains := make(map[int]bool)
 	for _, c := range n.topo.FailedChains(failed) {
@@ -374,8 +549,8 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		report.FailedChains = append(report.FailedChains, c)
 	}
 
-	// Run every healthy chain in parallel — the heart of the design:
-	// chains are independent local mix-nets (§4.2).
+	// Stage 2: mix. Run every healthy chain in parallel — the heart
+	// of the design: chains are independent local mix-nets (§4.2).
 	type chainOutcome struct {
 		res *mix.RoundResult
 		err error
@@ -395,17 +570,23 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	}
 	wg.Wait()
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	// Stage 3: aggregate and deliver. Reports are folded serially
+	// (cheap), removals touch only the convicted user's shard, and
+	// deliveries stream to the mailbox cluster concurrently per
+	// chain — the cluster shards its own locks by server.
+	for c := range n.chains {
+		if !failedChains[c] && outcomes[c].err != nil {
+			reopenExternals()
+			return nil, fmt.Errorf("core: chain %d: %w", c, outcomes[c].err)
+		}
+	}
+	var deliverWG sync.WaitGroup
+	var delivered atomic.Int64
 	for c := range n.chains {
 		if failedChains[c] {
 			continue
 		}
-		oc := outcomes[c]
-		if oc.err != nil {
-			return nil, fmt.Errorf("core: chain %d: %w", c, oc.err)
-		}
-		res := oc.res
+		res := outcomes[c].res
 		report.DroppedInner += res.DroppedInner
 		report.BlameRounds += res.BlameRounds
 		if res.Halted {
@@ -417,29 +598,26 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		for _, idx := range res.BlamedUsers {
 			who := batches[c].submitters[idx]
 			report.BlamedUsers = append(report.BlamedUsers, who)
-			if ru, ok := n.users[who]; ok {
-				ru.removed = true
-			}
+			n.reg.markRemoved(who)
 		}
 		if !res.Halted {
-			d, _ := n.boxes.Deliver(rho, res.Delivered)
-			report.Delivered += d
+			deliverWG.Add(1)
+			go func(msgs [][]byte) {
+				defer deliverWG.Done()
+				d, _ := n.boxes.Deliver(rho, msgs)
+				delivered.Add(int64(d))
+			}(res.Delivered)
 		}
 	}
+	deliverWG.Wait()
+	report.Delivered = int(delivered.Load())
 
+	n.mu.Lock()
 	n.round = rho + 1
-	if err := n.announceLocked(n.round + 1); err != nil {
+	next := n.round + 1
+	n.mu.Unlock()
+	if err := n.announce(next); err != nil {
 		return nil, err
 	}
 	return report, nil
-}
-
-// announceLocked announces a round's inner keys while holding n.mu.
-func (n *Network) announceLocked(round uint64) error {
-	for _, c := range n.chains {
-		if err := c.BeginRound(round); err != nil {
-			return fmt.Errorf("core: announcing round %d: %w", round, err)
-		}
-	}
-	return nil
 }

@@ -12,6 +12,15 @@ import (
 // following round, applying the same §5.3.3 churn rule: if an
 // external user misses a round for which she pre-submitted covers,
 // the covers run in her place exactly once.
+//
+// Submission window: round ρ is open from the moment it becomes the
+// upcoming round until RunRound(ρ) folds external traffic into the
+// chain batches (just after the build stage). From then until the
+// round counter advances — the mix and delivery phase — submissions
+// for ρ are rejected with an explicit "already mixing" error; the
+// client's move is to re-poll the round number and rebuild for the
+// next round. If the round fails and will be retried, the window
+// reopens so consumed submissions can be resent.
 
 type externalUser struct {
 	current map[uint64][]client.ChainMessage
@@ -25,6 +34,9 @@ func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error 
 	defer n.mu.Unlock()
 	if out.Round != n.round {
 		return fmt.Errorf("core: submission for round %d but round %d is open", out.Round, n.round)
+	}
+	if out.Round <= n.collected {
+		return fmt.Errorf("core: round %d is already mixing; submissions are closed", out.Round)
 	}
 	for _, cm := range append(out.Current, out.Cover...) {
 		if cm.Chain < 0 || cm.Chain >= len(n.chains) {
@@ -51,20 +63,22 @@ func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error 
 }
 
 // collectExternalsLocked merges external users' traffic into the
-// round's batches; must be called with n.mu held. Returns the number
-// of external users covered by their pre-submitted covers.
+// round's batches and closes the round for further submissions; must
+// be called with n.mu held. Returns the number of external users
+// covered by their pre-submitted covers.
 func (n *Network) collectExternalsLocked(rho uint64, batches []chainBatch) int {
+	if rho > n.collected {
+		n.collected = rho
+	}
 	covered := 0
 	for who, eu := range n.externals {
 		if msgs, ok := eu.current[rho]; ok {
 			for _, cm := range msgs {
-				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
-				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, who)
+				batches[cm.Chain].add(cm.Sub, who)
 			}
 		} else if covers, ok := eu.cover[rho]; ok {
 			for _, cm := range covers {
-				batches[cm.Chain].subs = append(batches[cm.Chain].subs, cm.Sub)
-				batches[cm.Chain].submitters = append(batches[cm.Chain].submitters, who)
+				batches[cm.Chain].add(cm.Sub, who)
 			}
 			covered++
 		}

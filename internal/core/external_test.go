@@ -1,0 +1,47 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+)
+
+// TestSubmitExternalRejectsCollectedRound pins the submission-window
+// contract: once a round's external traffic has been folded into
+// batches (the mix/deliver phase of RunRound), a submission for that
+// still-open round must be rejected loudly, not accepted and then
+// silently never mixed.
+func TestSubmitExternalRejectsCollectedRound(t *testing.T) {
+	n := testNetwork(t, 6, 2)
+	u := client.NewUser(nil, n.Plan())
+	out, err := u.BuildRound(n.Round(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before collection the submission is accepted.
+	if err := n.SubmitExternal(string(u.Mailbox()), out); err != nil {
+		t.Fatalf("pre-collection submission rejected: %v", err)
+	}
+
+	// Simulate the mid-round window: the round is still open (the
+	// counter advances only after mixing and delivery) but external
+	// traffic has been collected.
+	n.mu.Lock()
+	n.collected = n.round
+	n.mu.Unlock()
+
+	u2 := client.NewUser(nil, n.Plan())
+	out2, err := u2.BuildRound(n.Round(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.SubmitExternal(string(u2.Mailbox()), out2)
+	if err == nil {
+		t.Fatal("submission accepted after its round's traffic was collected")
+	}
+	if !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

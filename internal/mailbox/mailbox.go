@@ -37,6 +37,23 @@ func NewServer() *Server {
 // Put appends a message to a mailbox for a round. The message is
 // stored as given; mailbox servers never inspect contents.
 func (s *Server) Put(round uint64, mailbox []byte, msg []byte) {
+	s.PutBatch(round, []Delivery{{Mailbox: mailbox, Msg: msg}})
+}
+
+// Delivery is one routed message: a mailbox identifier and the
+// opaque message bytes destined for it.
+type Delivery struct {
+	Mailbox []byte
+	Msg     []byte
+}
+
+// PutBatch appends a batch of messages to their mailboxes for a
+// round under a single lock acquisition — the bulk path mix chains
+// use when a whole round's output lands at once.
+func (s *Server) PutBatch(round uint64, items []Delivery) {
+	if len(items) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rb, ok := s.boxes[round]
@@ -44,7 +61,9 @@ func (s *Server) Put(round uint64, mailbox []byte, msg []byte) {
 		rb = make(map[string][][]byte)
 		s.boxes[round] = rb
 	}
-	rb[string(mailbox)] = append(rb[string(mailbox)], append([]byte(nil), msg...))
+	for _, it := range items {
+		rb[string(it.Mailbox)] = append(rb[string(it.Mailbox)], append([]byte(nil), it.Msg...))
+	}
 }
 
 // Get returns all messages delivered to a mailbox in a round; the
@@ -106,27 +125,64 @@ func NewCluster(n int) (*Cluster, error) {
 // NumServers returns the cluster size.
 func (c *Cluster) NumServers() int { return len(c.servers) }
 
+// serverIndex routes a mailbox identifier to its home server's index.
+func (c *Cluster) serverIndex(mailbox []byte) int {
+	h := sha256.Sum256(mailbox)
+	return int(binary.BigEndian.Uint64(h[:8]) % uint64(len(c.servers)))
+}
+
 // serverFor routes a mailbox identifier to its home server.
 func (c *Cluster) serverFor(mailbox []byte) *Server {
-	h := sha256.Sum256(mailbox)
-	idx := binary.BigEndian.Uint64(h[:8]) % uint64(len(c.servers))
-	return c.servers[idx]
+	return c.servers[c.serverIndex(mailbox)]
 }
+
+// deliverConcurrencyThreshold is the batch size below which Deliver
+// stays serial: spawning goroutines costs more than a handful of map
+// appends.
+const deliverConcurrencyThreshold = 64
 
 // Deliver routes a batch of mix-chain output messages to their
 // mailboxes (Algorithm 1 step 2b: "send the message to the mailbox
 // server that manages mailbox pk_u"). Malformed messages are counted
 // and dropped; mix chains only emit well-formed ones.
+//
+// The batch is bucketed by home server first and each server's bucket
+// lands through one PutBatch — one lock acquisition per server rather
+// than one per message — with the per-server stores written
+// concurrently for large batches. Deliver is safe to call
+// concurrently (the round pipeline delivers every chain's output in
+// parallel); cross-server sharding keeps those writers off each
+// other's locks.
 func (c *Cluster) Deliver(round uint64, msgs [][]byte) (delivered, malformed int) {
+	buckets := make([][]Delivery, len(c.servers))
 	for _, m := range msgs {
 		rcpt, err := onion.Recipient(m)
 		if err != nil {
 			malformed++
 			continue
 		}
-		c.serverFor(rcpt).Put(round, rcpt, m)
+		i := c.serverIndex(rcpt)
+		buckets[i] = append(buckets[i], Delivery{Mailbox: rcpt, Msg: m})
 		delivered++
 	}
+	if delivered < deliverConcurrencyThreshold || len(c.servers) == 1 {
+		for i, b := range buckets {
+			c.servers[i].PutBatch(round, b)
+		}
+		return delivered, malformed
+	}
+	var wg sync.WaitGroup
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Server, items []Delivery) {
+			defer wg.Done()
+			s.PutBatch(round, items)
+		}(c.servers[i], b)
+	}
+	wg.Wait()
 	return delivered, malformed
 }
 

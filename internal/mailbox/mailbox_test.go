@@ -83,6 +83,64 @@ func TestConcurrentPutGet(t *testing.T) {
 	}
 }
 
+func TestPutBatch(t *testing.T) {
+	s := NewServer()
+	boxA, boxB := []byte("box-a"), []byte("box-b")
+	payload := []byte("payload")
+	s.PutBatch(1, []Delivery{
+		{Mailbox: boxA, Msg: []byte("a1")},
+		{Mailbox: boxB, Msg: payload},
+		{Mailbox: boxA, Msg: []byte("a2")},
+	})
+	if got := s.Get(1, boxA); len(got) != 2 || string(got[0]) != "a1" || string(got[1]) != "a2" {
+		t.Fatalf("box-a: %q", got)
+	}
+	got := s.Get(1, boxB)
+	if len(got) != 1 || string(got[0]) != "payload" {
+		t.Fatalf("box-b: %q", got)
+	}
+	// The batch path must copy, like Put.
+	payload[0] = 'X'
+	if again := s.Get(1, boxB); string(again[0]) != "payload" {
+		t.Fatal("PutBatch stored the caller's slice instead of a copy")
+	}
+	s.PutBatch(2, nil) // empty batches are a no-op
+	if s.CountForRound(2) != 0 {
+		t.Fatal("empty batch stored messages")
+	}
+}
+
+// TestClusterConcurrentDeliver mirrors the round pipeline's usage:
+// several chains deliver large batches into the same cluster at once.
+func TestClusterConcurrentDeliver(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chains, perChain = 4, 100 // above deliverConcurrencyThreshold
+	batches := make([][][]byte, chains)
+	for ch := range batches {
+		for i := 0; i < perChain; i++ {
+			r := group.Base(group.NewScalar(int64(ch*perChain + i + 1)))
+			batches[ch] = append(batches[ch], mailboxMsg(t, r, 1))
+		}
+	}
+	var wg sync.WaitGroup
+	for ch := range batches {
+		wg.Add(1)
+		go func(msgs [][]byte) {
+			defer wg.Done()
+			if d, m := c.Deliver(1, msgs); d != perChain || m != 0 {
+				t.Errorf("delivered=%d malformed=%d", d, m)
+			}
+		}(batches[ch])
+	}
+	wg.Wait()
+	if total := c.TotalForRound(1); total != chains*perChain {
+		t.Fatalf("total = %d, want %d", total, chains*perChain)
+	}
+}
+
 func TestClusterRejectsEmpty(t *testing.T) {
 	if _, err := NewCluster(0); err == nil {
 		t.Fatal("empty cluster accepted")

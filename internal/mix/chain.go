@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"hash"
+	"sync"
 
 	"repro/internal/aead"
 	"repro/internal/group"
@@ -25,6 +26,11 @@ type Chain struct {
 	Servers []*Server
 
 	scheme aead.Scheme
+
+	// keyMu guards lastBegun and innerAggs so that ParamsFor (the
+	// client-facing key lookup) is safe concurrently with the
+	// coordinator announcing the next round's keys.
+	keyMu sync.RWMutex
 	// lastBegun is the highest round BeginRound has seen.
 	lastBegun uint64
 	// innerAggs maps round -> ∏ ipk_i. Round ρ+1's aggregate is
@@ -76,6 +82,8 @@ func (c *Chain) Len() int { return len(c.Servers) }
 // key. It is idempotent per round; the coordinator announces round
 // ρ+1 during round ρ so users can build covers.
 func (c *Chain) BeginRound(round uint64) error {
+	c.keyMu.Lock()
+	defer c.keyMu.Unlock()
 	if c.innerAggs == nil {
 		c.innerAggs = make(map[uint64]group.Point)
 	}
@@ -103,7 +111,9 @@ func (c *Chain) BeginRound(round uint64) error {
 // ParamsFor returns the chain's public parameters for a round whose
 // inner keys have been announced.
 func (c *Chain) ParamsFor(round uint64) (Params, error) {
+	c.keyMu.RLock()
 	agg, ok := c.innerAggs[round]
+	c.keyMu.RUnlock()
 	if !ok {
 		return Params{}, fmt.Errorf("mix: chain %d has not begun round %d", c.ID, round)
 	}
@@ -119,7 +129,10 @@ func (c *Chain) ParamsFor(round uint64) (Params, error) {
 // Params returns the public parameters for the most recently begun
 // round.
 func (c *Chain) Params() Params {
-	p, err := c.ParamsFor(c.lastBegun)
+	c.keyMu.RLock()
+	last := c.lastBegun
+	c.keyMu.RUnlock()
+	p, err := c.ParamsFor(last)
 	if err != nil {
 		panic(err) // unreachable: lastBegun is always announced
 	}
@@ -178,7 +191,10 @@ type roundState struct {
 // internal corruption); protocol misbehaviour is reported in
 // RoundResult instead.
 func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*RoundResult, error) {
-	if _, ok := c.innerAggs[round]; !ok {
+	c.keyMu.RLock()
+	_, ok := c.innerAggs[round]
+	c.keyMu.RUnlock()
+	if !ok {
 		return nil, fmt.Errorf("mix: chain %d asked to run round %d before its keys were announced", c.ID, round)
 	}
 	nonce := aead.RoundNonce(round, lane)
