@@ -21,6 +21,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/mix"
 	"repro/internal/model"
+	"repro/internal/nizk"
 	"repro/internal/onion"
 	"repro/internal/topology"
 )
@@ -500,4 +501,47 @@ func makeHonestSubs(b *testing.B, chain *mix.Chain, n int) []onion.Submission {
 		subs[i] = sub
 	}
 	return subs
+}
+
+// BenchmarkSubmissionVerify measures the tentpole of the batched
+// verification work: the per-round submission proof check, serial
+// (one VerifyDlogCommit per proof, as the seed did) versus batched
+// (mix.VerifySubmissionProofs: one multi-scalar multiplication per
+// chunk, fanned over the worker pool). The us/proof metrics are the
+// comparable series; batch must stay well above 2x at 4096.
+func BenchmarkSubmissionVerify(b *testing.B) {
+	const round, chain = 1, 0
+	makeProofSubs := func(n int) []onion.Submission {
+		ctx := onion.SubmitContext(round, chain)
+		subs := make([]onion.Submission, n)
+		for i := range subs {
+			x := group.MustRandomScalar()
+			subs[i] = onion.Submission{
+				Envelope: onion.Envelope{DHKey: group.Base(x)},
+				Proof:    nizk.ProveDlogCommit(ctx, group.Generator(), x),
+			}
+		}
+		return subs
+	}
+	for _, n := range []int{256, 1024, 4096} {
+		subs := makeProofSubs(n)
+		b.Run(fmt.Sprintf("serial/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range subs {
+					if err := onion.VerifySubmission(subs[j], round, chain); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(n), "us/proof")
+		})
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if bad := mix.VerifySubmissionProofs(subs, round, chain); len(bad) != 0 {
+					b.Fatalf("valid batch blamed %v", bad)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(n), "us/proof")
+		})
+	}
 }

@@ -113,6 +113,12 @@ type Network struct {
 	injected map[int][]onion.Submission
 	// externals are network-transport users (see external.go).
 	externals map[string]*externalUser
+	// banned holds mailbox identifiers convicted by the blame
+	// protocol. Registry users are excluded by their removed flag, but
+	// transport-layer users have no registry entry, so without this
+	// set a convicted external user could resubmit every round (§6.4
+	// requires removal). SubmitExternal consults it.
+	banned map[string]bool
 }
 
 // NewNetwork builds the topology, keys every chain, and announces
@@ -164,6 +170,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		reg:           newRegistry(),
 		failedServers: make(map[int]bool),
 		injected:      make(map[int][]onion.Submission),
+		banned:        make(map[string]bool),
 	}
 	for c := range topo.Chains {
 		chain, err := mix.NewChain(c, topo.ChainLength, cfg.Scheme)
@@ -582,6 +589,7 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	}
 	var deliverWG sync.WaitGroup
 	var delivered atomic.Int64
+	var convicted []string
 	for c := range n.chains {
 		if failedChains[c] {
 			continue
@@ -599,6 +607,7 @@ func (n *Network) RunRound() (*RoundReport, error) {
 			who := batches[c].submitters[idx]
 			report.BlamedUsers = append(report.BlamedUsers, who)
 			n.reg.markRemoved(who)
+			convicted = append(convicted, who)
 		}
 		if !res.Halted {
 			deliverWG.Add(1)
@@ -613,6 +622,14 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	report.Delivered = int(delivered.Load())
 
 	n.mu.Lock()
+	// Ban convicted identifiers at the transport layer too: external
+	// users have no registry entry for markRemoved to flip, so the
+	// ban set is what actually keeps them out (§6.4). Their banked
+	// state goes with them — a removed user's covers must never run.
+	for _, who := range convicted {
+		n.banned[who] = true
+		delete(n.externals, who)
+	}
 	n.round = rho + 1
 	next := n.round + 1
 	n.mu.Unlock()

@@ -32,6 +32,9 @@ type externalUser struct {
 func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.banned[mailbox] {
+		return fmt.Errorf("core: user was removed for misbehaviour; submissions are refused")
+	}
 	if out.Round != n.round {
 		return fmt.Errorf("core: submission for round %d but round %d is open", out.Round, n.round)
 	}

@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/aead"
 	"repro/internal/client"
+	"repro/internal/mix"
 )
 
 // TestSubmitExternalRejectsCollectedRound pins the submission-window
@@ -43,5 +45,68 @@ func TestSubmitExternalRejectsCollectedRound(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "closed") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestConvictedExternalUserIsBanned is the regression test for the
+// external-user removal hole: markRemoved is a no-op for
+// transport-layer users, so without the transport ban a convicted
+// remote user could resubmit every round in violation of §6.4.
+func TestConvictedExternalUserIsBanned(t *testing.T) {
+	n := testNetwork(t, 6, 2)
+	u := client.NewUser(nil, n.Plan())
+	mailbox := string(u.Mailbox())
+
+	// A submission whose knowledge proof is broken: the chain convicts
+	// the sender at proof-check time.
+	params, err := n.ChainParams(0, n.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := mix.InvalidProofSubmission(aead.ChaCha20Poly1305(), params, n.Round(), client.LaneCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &client.RoundOutput{
+		Round:   n.Round(),
+		Current: []client.ChainMessage{{Chain: 0, Sub: bad}},
+	}
+	if err := n.SubmitExternal(mailbox, out); err != nil {
+		t.Fatalf("initial submission rejected: %v", err)
+	}
+
+	rep := runRound(t, n)
+	convicted := false
+	for _, who := range rep.BlamedUsers {
+		if who == mailbox {
+			convicted = true
+		}
+	}
+	if !convicted {
+		t.Fatalf("external user not convicted; blamed = %v", rep.BlamedUsers)
+	}
+
+	// Her next submission — perfectly well-formed this time — must be
+	// refused.
+	out2, err := u.BuildRound(n.Round(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.SubmitExternal(mailbox, out2)
+	if err == nil {
+		t.Fatal("convicted external user's submission accepted")
+	}
+	if !strings.Contains(err.Error(), "removed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// The ban holds on later rounds too, and her banked covers must
+	// not run in her place.
+	rep2 := runRound(t, n)
+	if rep2.OfflineCovered != 0 {
+		t.Fatalf("a banned user's covers ran: %+v", rep2)
+	}
+	if err := n.SubmitExternal(mailbox, out2); err == nil {
+		t.Fatal("ban lapsed after a round")
 	}
 }

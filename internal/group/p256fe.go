@@ -1,0 +1,234 @@
+package group
+
+// Fast arithmetic in the P-256 base field GF(p), used only by the
+// multi-scalar multiplication (multiscalar.go). crypto/elliptic's
+// affine Add pays a field inversion per call, which makes any
+// addition-chain algorithm slower than its assembly ScalarMult; this
+// file provides inversion-free field elements so Jacobian-coordinate
+// chains actually win.
+//
+// Representation: four little-endian uint64 limbs in the Montgomery
+// domain (value·2^256 mod p). P-256's lowest prime limb is 2^64−1, so
+// the Montgomery constant −p⁻¹ mod 2^64 is exactly 1 and each
+// reduction step needs no multiplication to derive its quotient word.
+//
+// Everything here is variable-time. The MSM only ever touches public
+// proof data and verifier-local batching randomizers, never long-term
+// secrets; the constant-time paths for secret scalars remain
+// crypto/elliptic's.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// fe is a field element in the Montgomery domain, little-endian limbs.
+type fe [4]uint64
+
+// Prime limbs and Montgomery constants, filled from the curve
+// parameters at init so no hand-transcribed constant can drift.
+var (
+	feP   fe // the prime p
+	feR2  fe // 2^512 mod p, for toMont
+	feOne fe // 1 in the Montgomery domain (2^256 mod p)
+)
+
+func init() {
+	p := curve.Params().P
+	feP = feFromBigRaw(p)
+	r2 := new(big.Int).Lsh(big.NewInt(1), 512)
+	r2.Mod(r2, p)
+	feR2 = feFromBigRaw(r2)
+	one := new(big.Int).Lsh(big.NewInt(1), 256)
+	one.Mod(one, p)
+	feOne = feFromBigRaw(one)
+}
+
+// feFromBigRaw copies a reduced big.Int into limbs without any domain
+// conversion.
+func feFromBigRaw(v *big.Int) fe {
+	var b [32]byte
+	v.FillBytes(b[:])
+	var z fe
+	for i := 0; i < 4; i++ {
+		z[i] = uint64(b[31-8*i]) | uint64(b[30-8*i])<<8 | uint64(b[29-8*i])<<16 |
+			uint64(b[28-8*i])<<24 | uint64(b[27-8*i])<<32 | uint64(b[26-8*i])<<40 |
+			uint64(b[25-8*i])<<48 | uint64(b[24-8*i])<<56
+	}
+	return z
+}
+
+// feFromBig converts a reduced big.Int into the Montgomery domain.
+func feFromBig(v *big.Int) fe {
+	raw := feFromBigRaw(v)
+	var z fe
+	feMul(&z, &raw, &feR2)
+	return z
+}
+
+// toBig leaves the Montgomery domain and returns the standard value.
+func (x *fe) toBig() *big.Int {
+	one := fe{1, 0, 0, 0}
+	var raw fe
+	feMul(&raw, x, &one)
+	var b [32]byte
+	for i := 0; i < 4; i++ {
+		b[31-8*i] = byte(raw[i])
+		b[30-8*i] = byte(raw[i] >> 8)
+		b[29-8*i] = byte(raw[i] >> 16)
+		b[28-8*i] = byte(raw[i] >> 24)
+		b[27-8*i] = byte(raw[i] >> 32)
+		b[26-8*i] = byte(raw[i] >> 40)
+		b[25-8*i] = byte(raw[i] >> 48)
+		b[24-8*i] = byte(raw[i] >> 56)
+	}
+	return new(big.Int).SetBytes(b[:])
+}
+
+func (x *fe) isZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+
+func (x *fe) equal(y *fe) bool {
+	return x[0] == y[0] && x[1] == y[1] && x[2] == y[2] && x[3] == y[3]
+}
+
+// feMul sets z = x·y·2^−256 mod p (Montgomery product). Schoolbook
+// 256×256→512 product followed by four REDC steps; with −p⁻¹ ≡ 1 the
+// quotient word of each step is simply the running low limb.
+func feMul(z, x, y *fe) {
+	var t [9]uint64
+
+	// Schoolbook product into t[0..7].
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		xi := x[i]
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			lo, c1 := bits.Add64(lo, t[i+j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			t[i+j] = lo
+			carry = hi + c1 + c2 // hi ≤ 2^64−2, cannot overflow
+		}
+		t[i+4] = carry
+	}
+
+	feReduce(z, &t)
+}
+
+// feSqr sets z = x²·2^−256 mod p. The cross products are computed
+// once and doubled, saving roughly a third of the multiplications.
+func feSqr(z, x *fe) {
+	var t [9]uint64
+
+	// Off-diagonal products x[i]·x[j] for i<j land in t[1..6];
+	// t[0], t[7], t[8] stay zero.
+	for i := 0; i < 3; i++ {
+		var carry uint64
+		for j := i + 1; j < 4; j++ {
+			hi, lo := bits.Mul64(x[i], x[j])
+			lo, c1 := bits.Add64(lo, t[i+j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			t[i+j] = lo
+			carry = hi + c1 + c2
+		}
+		t[i+4] = carry
+	}
+
+	// Double the off-diagonal part (bounded by t[7]).
+	for i := 7; i >= 1; i-- {
+		t[i] = t[i]<<1 | t[i-1]>>63
+	}
+
+	// Add the diagonal squares.
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		hi, lo := bits.Mul64(x[i], x[i])
+		var c uint64
+		t[2*i], c = bits.Add64(t[2*i], lo, 0)
+		hi += c // hi ≤ 2^64−2, cannot overflow
+		t[2*i+1], carry = bits.Add64(t[2*i+1], hi, 0)
+		for k := 2*i + 2; carry != 0 && k < 9; k++ {
+			t[k], carry = bits.Add64(t[k], carry, 0)
+		}
+	}
+
+	feReduce(z, &t)
+}
+
+// feReduce runs the four Montgomery reduction steps over the 512-bit
+// value in t[0..7] (t[8] spare carry word) and writes the canonical
+// result.
+func feReduce(z *fe, t *[9]uint64) {
+	for i := 0; i < 4; i++ {
+		m := t[i] // quotient word: m = t[i]·(−p⁻¹) mod 2^64 = t[i]
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(m, feP[j])
+			lo, c1 := bits.Add64(lo, t[i+j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			t[i+j] = lo
+			carry = hi + c1 + c2
+		}
+		for k := i + 4; carry != 0 && k < 9; k++ {
+			t[k], carry = bits.Add64(t[k], carry, 0)
+		}
+	}
+
+	// Result is t[4..8] < 2p; subtract p once if needed.
+	r0, b := bits.Sub64(t[4], feP[0], 0)
+	r1, b := bits.Sub64(t[5], feP[1], b)
+	r2, b := bits.Sub64(t[6], feP[2], b)
+	r3, b := bits.Sub64(t[7], feP[3], b)
+	_, b = bits.Sub64(t[8], 0, b)
+	if b == 0 {
+		z[0], z[1], z[2], z[3] = r0, r1, r2, r3
+	} else {
+		z[0], z[1], z[2], z[3] = t[4], t[5], t[6], t[7]
+	}
+}
+
+// feAdd sets z = x + y mod p.
+func feAdd(z, x, y *fe) {
+	s0, c := bits.Add64(x[0], y[0], 0)
+	s1, c := bits.Add64(x[1], y[1], c)
+	s2, c := bits.Add64(x[2], y[2], c)
+	s3, c := bits.Add64(x[3], y[3], c)
+	r0, b := bits.Sub64(s0, feP[0], 0)
+	r1, b := bits.Sub64(s1, feP[1], b)
+	r2, b := bits.Sub64(s2, feP[2], b)
+	r3, b := bits.Sub64(s3, feP[3], b)
+	if c == 1 || b == 0 {
+		z[0], z[1], z[2], z[3] = r0, r1, r2, r3
+	} else {
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	}
+}
+
+// feSub sets z = x − y mod p.
+func feSub(z, x, y *fe) {
+	d0, b := bits.Sub64(x[0], y[0], 0)
+	d1, b := bits.Sub64(x[1], y[1], b)
+	d2, b := bits.Sub64(x[2], y[2], b)
+	d3, b := bits.Sub64(x[3], y[3], b)
+	if b == 1 {
+		var c uint64
+		d0, c = bits.Add64(d0, feP[0], 0)
+		d1, c = bits.Add64(d1, feP[1], c)
+		d2, c = bits.Add64(d2, feP[2], c)
+		d3, _ = bits.Add64(d3, feP[3], c)
+	}
+	z[0], z[1], z[2], z[3] = d0, d1, d2, d3
+}
+
+// feDouble sets z = 2x mod p.
+func feDouble(z, x *fe) { feAdd(z, x, x) }
+
+// feNeg sets z = −x mod p. feSub via zero takes the borrow path for
+// any non-zero x and lands on p−x.
+func feNeg(z, x *fe) {
+	if x.isZero() {
+		*z = fe{}
+		return
+	}
+	var zero fe
+	feSub(z, &zero, x)
+}

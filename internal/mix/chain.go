@@ -35,7 +35,9 @@ type Chain struct {
 	lastBegun uint64
 	// innerAggs maps round -> ∏ ipk_i. Round ρ+1's aggregate is
 	// published during round ρ so users can build cover messages
-	// (§5.3.3).
+	// (§5.3.3). BeginRound prunes rounds older than lastBegun−1, so
+	// the map holds at most the current and next round and a
+	// long-running server does not accumulate one entry per round.
 	innerAggs map[uint64]group.Point
 }
 
@@ -105,6 +107,15 @@ func (c *Chain) BeginRound(round uint64) error {
 		c.lastBegun = round
 	}
 	c.innerAggs[round] = agg
+	// Drop aggregates no round can use any more: the coordinator
+	// announces ρ+1 while ρ runs, so snapshotParams needs lastBegun−1
+	// and lastBegun but nothing older. Without this the map grows by
+	// one entry per round for the life of the server.
+	for r := range c.innerAggs {
+		if r+1 < c.lastBegun {
+			delete(c.innerAggs, r)
+		}
+	}
 	return nil
 }
 
@@ -201,11 +212,19 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 	res := &RoundResult{}
 
 	// Submission proof checks (§6.2): an invalid PoK identifies its
-	// sender immediately.
+	// sender immediately. Proofs are verified in parallel batches
+	// (one multi-scalar multiplication per chunk); failing chunks are
+	// bisected, so the blamed indices are identical to the seed's
+	// serial per-proof loop.
 	st := &roundState{subs: make(map[int]onion.Submission, len(subs))}
+	bad := VerifySubmissionProofs(subs, round, c.ID)
+	res.BlamedUsers = append(res.BlamedUsers, bad...)
+	badSet := make(map[int]bool, len(bad))
+	for _, i := range bad {
+		badSet[i] = true
+	}
 	for i, sub := range subs {
-		if err := onion.VerifySubmission(sub, round, c.ID); err != nil {
-			res.BlamedUsers = append(res.BlamedUsers, i)
+		if badSet[i] {
 			continue
 		}
 		st.envs = append(st.envs, sub.Envelope)

@@ -2,11 +2,14 @@ package mix
 
 import (
 	"bytes"
+	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/aead"
 	"repro/internal/group"
 	"repro/internal/kdf"
+	"repro/internal/nizk"
 	"repro/internal/onion"
 )
 
@@ -672,4 +675,199 @@ func TestMixedUserAndServerMisbehaviour(t *testing.T) {
 	if len(res.BlamedServers) != 1 || res.BlamedServers[0] != 2 {
 		t.Fatalf("blamed servers = %v, want [2]", res.BlamedServers)
 	}
+}
+
+// TestBatchBlamePathMatchesSerial pins the tentpole contract of
+// batched submission verification end to end through RunRound: the
+// chain blames exactly the same user indices a serial per-proof sweep
+// identifies, plus the same deep failures the blame protocol finds.
+// (At this size a failing batch falls back to the serial sweep; the
+// recursion and chunking layers above it are pinned separately by
+// TestVerifySubmissionProofsBisectionAndChunks.)
+func TestBatchBlamePathMatchesSerial(t *testing.T) {
+	c := testChain(t, 3)
+	params := c.Params()
+	subs, _ := submitMany(t, c, 40)
+
+	// Invalid knowledge proofs scattered across the batch, including
+	// both ends (bisection boundaries).
+	badProof := map[int]bool{}
+	for _, i := range []int{0, 13, 27, 39} {
+		bad, err := InvalidProofSubmission(scheme, params, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = bad
+		badProof[i] = true
+	}
+	// One submission with a valid proof that fails deep in the chain:
+	// the blame protocol, not proof verification, must catch it.
+	deep, err := MaliciousSubmission(scheme, params, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepIdx := len(subs)
+	subs = append(subs, deep)
+
+	// The serial reference: exactly what the seed's per-proof loop
+	// would have blamed at submission time.
+	var serial []int
+	for i, sub := range subs {
+		if onion.VerifySubmission(sub, 1, 0) != nil {
+			serial = append(serial, i)
+		}
+	}
+	for _, i := range serial {
+		if !badProof[i] {
+			t.Fatalf("serial sweep blamed unexpected index %d", i)
+		}
+	}
+	if len(serial) != len(badProof) {
+		t.Fatalf("serial sweep found %d bad proofs, want %d", len(serial), len(badProof))
+	}
+	if got := VerifySubmissionProofs(subs, 1, 0); !equalInts(got, serial) {
+		t.Fatalf("batch verification blamed %v, serial %v", got, serial)
+	}
+
+	res, err := c.RunRound(1, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || len(res.BlamedServers) != 0 {
+		t.Fatalf("servers blamed: %+v", res)
+	}
+	wantBlamed := append(append([]int(nil), serial...), deepIdx)
+	gotBlamed := append([]int(nil), res.BlamedUsers...)
+	sort.Ints(gotBlamed)
+	if !equalInts(gotBlamed, wantBlamed) {
+		t.Fatalf("round blamed %v, want %v", gotBlamed, wantBlamed)
+	}
+	if len(res.Delivered) != 36 {
+		t.Fatalf("delivered %d of 36 honest messages", len(res.Delivered))
+	}
+}
+
+// TestVerifySubmissionProofsAllBad drives the bisection to its floor:
+// every proof invalid.
+func TestVerifySubmissionProofsAllBad(t *testing.T) {
+	c := testChain(t, 2)
+	params := c.Params()
+	const n = 20
+	subs := make([]onion.Submission, n)
+	for i := range subs {
+		bad, err := InvalidProofSubmission(scheme, params, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = bad
+	}
+	got := VerifySubmissionProofs(subs, 1, 0)
+	if len(got) != n {
+		t.Fatalf("blamed %d of %d invalid proofs", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("blamed indices %v not ascending and complete", got)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInnerAggPruning pins the fix for the unbounded innerAggs map: a
+// long-running chain keeps aggregates only for the current and next
+// round, so parameters for anything older are gone (and so is the
+// memory).
+func TestInnerAggPruning(t *testing.T) {
+	c := testChain(t, 2)
+	for r := uint64(2); r <= 6; r++ {
+		if err := c.BeginRound(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.keyMu.RLock()
+	kept := len(c.innerAggs)
+	c.keyMu.RUnlock()
+	if kept != 2 {
+		t.Fatalf("innerAggs holds %d rounds, want 2 (current and next)", kept)
+	}
+	for r := uint64(1); r <= 4; r++ {
+		if _, err := c.ParamsFor(r); err == nil {
+			t.Fatalf("parameters for pruned round %d still served", r)
+		}
+	}
+	for r := uint64(5); r <= 6; r++ {
+		if _, err := c.ParamsFor(r); err != nil {
+			t.Fatalf("parameters for live round %d unavailable: %v", r, err)
+		}
+	}
+	// Re-announcing an already-live round must not prune it.
+	if err := c.BeginRound(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ParamsFor(5); err != nil {
+		t.Fatalf("idempotent BeginRound pruned the current round: %v", err)
+	}
+	// The servers' own inner-key maps must be bounded too: a halted
+	// or skipped chain never reaches RevealInnerKey's pruning, so
+	// BeginRound is the backstop.
+	for _, s := range c.Servers {
+		if len(s.innerKeys) != 2 {
+			t.Fatalf("server %d holds %d inner keys, want 2", s.Index, len(s.innerKeys))
+		}
+		if _, ok := s.InnerPublicKey(5); !ok {
+			t.Fatalf("server %d lost the current round's inner key", s.Index)
+		}
+	}
+}
+
+// TestVerifySubmissionProofsBisectionAndChunks drives the production
+// paths the small round tests cannot reach: a failing range larger
+// than bisectSerialCutoff (so the recursion actually splits) and a
+// submission count spread over multiple worker chunks (so the
+// chunk-boundary math and cross-chunk merge are exercised). Proof-only
+// submissions keep it fast — VerifySubmissionProofs never reads the
+// ciphertexts.
+func TestVerifySubmissionProofsBisectionAndChunks(t *testing.T) {
+	const n = 600
+	ctx := onion.SubmitContext(1, 0)
+	subs := make([]onion.Submission, n)
+	for i := range subs {
+		x := group.MustRandomScalar()
+		subs[i] = onion.Submission{
+			Envelope: onion.Envelope{DHKey: group.Base(x)},
+			Proof:    nizk.ProveDlogCommit(ctx, group.Generator(), x),
+		}
+	}
+	// Invalid proofs at the bisection midpoints and both ends.
+	want := []int{0, 299, 300, 599}
+	for _, i := range want {
+		subs[i].Proof.S = subs[i].Proof.S.Add(group.NewScalar(1))
+	}
+
+	check := func(label string) {
+		t.Helper()
+		if got := VerifySubmissionProofs(subs, 1, 0); !equalInts(got, want) {
+			t.Fatalf("%s: blamed %v, want %v", label, got, want)
+		}
+	}
+	// Whatever GOMAXPROCS the host has: one 600-proof chunk fails,
+	// splits at 300 (still > bisectSerialCutoff on the left/right),
+	// and sweeps serially below it.
+	check("bisection")
+	// Force many small chunks so several workers claim, verify and
+	// merge ranges concurrently.
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	check("multi-chunk")
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/aead"
@@ -48,8 +49,12 @@ type Server struct {
 	// innerKeys holds the per-round inner key pairs (isk, ipk=g^isk).
 	// Keys for round ρ+1 are generated during round ρ so users can
 	// build their cover messages one round ahead (§5.3.3); old rounds
-	// are pruned after reveal.
+	// are pruned after reveal, and BeginRound prunes too so servers on
+	// halted or skipped chains — which never reach the reveal — do not
+	// accumulate one key pair per round forever.
 	innerKeys map[uint64]group.KeyPair
+	// lastKeyRound is the highest round BeginRound has seen.
+	lastKeyRound uint64
 
 	// Round state retained for the blame protocol: this server's
 	// inputs, outputs and permutation from the last Mix call, plus
@@ -117,6 +122,19 @@ func (s *Server) BeginRound(round uint64) (group.Point, nizk.Proof) {
 		kp = group.GenerateBaseKeyPair()
 		s.innerKeys[round] = kp
 	}
+	if round > s.lastKeyRound {
+		s.lastKeyRound = round
+		// Mirror Chain.innerAggs: only the current and next announced
+		// rounds can still be mixed or revealed; anything older is
+		// unreachable (RevealInnerKey prunes the success path, but a
+		// halted or skipped chain never gets there, and §6.4 wants
+		// those keys destroyed anyway).
+		for r := range s.innerKeys {
+			if r+1 < s.lastKeyRound {
+				delete(s.innerKeys, r)
+			}
+		}
+	}
 	proof := nizk.ProveDlog(innerKeyContext(s.Chain, s.Index, round), group.Generator(), kp.Private)
 	return kp.Public, proof
 }
@@ -177,59 +195,43 @@ func (s *Server) Mix(round uint64, nonce [aead.NonceSize]byte, in []onion.Envelo
 	peeled := make([][]byte, len(in))
 	failed := make([]int, 0)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(in) {
-		workers = len(in)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	stride := (len(in) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*stride, (w+1)*stride
-		if hi > len(in) {
-			hi = len(in)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var localFailed []int
-			for j := lo; j < hi; j++ {
-				pt, err := onion.PeelAHS(s.scheme, s.msk, nonce, in[j])
-				if err != nil {
-					localFailed = append(localFailed, j)
-					continue
-				}
-				peeled[j] = pt
+	parallelRanges(len(in), func(lo, hi int) {
+		var localFailed []int
+		for j := lo; j < hi; j++ {
+			pt, err := onion.PeelAHS(s.scheme, s.msk, nonce, in[j])
+			if err != nil {
+				localFailed = append(localFailed, j)
+				continue
 			}
-			if len(localFailed) > 0 {
-				mu.Lock()
-				failed = append(failed, localFailed...)
-				mu.Unlock()
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			peeled[j] = pt
+		}
+		if len(localFailed) > 0 {
+			mu.Lock()
+			failed = append(failed, localFailed...)
+			mu.Unlock()
+		}
+	})
 	if len(failed) > 0 {
-		sortInts(failed)
+		sort.Ints(failed)
 		return &MixResult{Failed: failed}, nil
 	}
 	if s.Corruption != nil && len(s.Corruption.FalselyAccuse) > 0 {
 		f := append([]int(nil), s.Corruption.FalselyAccuse...)
-		sortInts(f)
+		sort.Ints(f)
 		return &MixResult{Failed: f}, nil
 	}
 
-	// Step 2: blind and shuffle.
+	// Step 2: blind and shuffle, fanned over the same worker pool as
+	// step 1 — the per-message blinding exponentiation is the other
+	// half of the server's public-key cost (§6.3 step 2).
 	out := make([]onion.Envelope, len(in))
 	out2in := randomPermutation(len(in))
-	for p, j := range out2in {
-		out[p] = onion.Envelope{DHKey: in[j].DHKey.Mul(s.bsk), Ct: peeled[j]}
-	}
+	parallelRanges(len(in), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			j := out2in[p]
+			out[p] = onion.Envelope{DHKey: in[j].DHKey.Mul(s.bsk), Ct: peeled[j]}
+		}
+	})
 
 	const epoch = 0
 	if s.Corruption != nil {
@@ -318,12 +320,37 @@ func randInt(n int) int {
 	return int(v.Int64())
 }
 
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
+// parallelRanges splits [0, n) into one contiguous range per worker
+// and runs fn on each concurrently. With a single worker (or tiny n)
+// it degenerates to a direct call.
+func parallelRanges(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	stride := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*stride, (w+1)*stride
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // InputDigest hashes an input set so the chain's servers can agree on

@@ -1,0 +1,126 @@
+package mix
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/onion"
+)
+
+// Submission proof checking (§6.2). The serial seed verified one
+// Schnorr proof at a time; this is the round's single biggest
+// public-key cost, so it is now batched (one multi-scalar
+// multiplication per chunk, see nizk.VerifyDlogBatch) and fanned over
+// a worker pool. Batch verification is all-or-nothing, so a failing
+// chunk is bisected until the culprits are isolated — the blamed
+// indices come out exactly as the per-proof loop would produce them,
+// the all-honest fast path just no longer pays per-proof prices.
+
+const (
+	// submissionChunkMax caps one batch's multi-scalar
+	// multiplication; beyond this the bucket width stops growing and
+	// chunks only add bisection depth.
+	submissionChunkMax = 4096
+	// submissionChunkMin is the smallest batch worth the MSM setup
+	// when splitting work across workers.
+	submissionChunkMin = 64
+	// bisectFloor is the subdivision size below which per-proof
+	// verification beats further batch calls.
+	bisectFloor = 8
+	// bisectSerialCutoff bounds the work an adversary can force by
+	// flooding a chunk with invalid proofs: every bisection level
+	// re-runs MSM work over the failing subtree, so once a failing
+	// range is this small the per-proof sweep is cheaper than more
+	// doomed batch attempts. It only engages after a batch has
+	// already failed — the all-honest path never pays it.
+	bisectSerialCutoff = 256
+)
+
+// VerifySubmissionProofs checks all submission knowledge proofs and
+// returns the indices whose proofs are invalid, in ascending order.
+// Chunks of the batch are verified concurrently by a bounded worker
+// pool, each chunk with one multi-scalar multiplication; failing
+// chunks are bisected so the returned indices match a serial
+// onion.VerifySubmission sweep exactly.
+func VerifySubmissionProofs(subs []onion.Submission, round uint64, chain int) []int {
+	n := len(subs)
+	if n == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	if chunk > submissionChunkMax {
+		chunk = submissionChunkMax
+	}
+	if chunk < submissionChunkMin {
+		chunk = submissionChunkMin
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	// Workers claim chunks from an atomic cursor: at most `workers`
+	// MSMs (and their digit/bucket scratch) live at once no matter
+	// how many chunks a huge round splits into.
+	var mu sync.Mutex
+	var bad []int
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				lo, hi := ci*chunk, (ci+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if found := badProofsIn(subs, lo, hi, round, chain); len(found) > 0 {
+					mu.Lock()
+					bad = append(bad, found...)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Ints(bad)
+	return bad
+}
+
+// badProofsIn verifies subs[lo:hi]: batch first, then bisect on
+// failure, with serial sweeps once a failing range is too small for
+// retried batches to pay off.
+func badProofsIn(subs []onion.Submission, lo, hi int, round uint64, chain int) []int {
+	if hi-lo <= bisectFloor {
+		return sweepProofs(subs, lo, hi, round, chain)
+	}
+	if onion.VerifySubmissionBatch(subs[lo:hi], round, chain) == nil {
+		return nil
+	}
+	if hi-lo <= bisectSerialCutoff {
+		return sweepProofs(subs, lo, hi, round, chain)
+	}
+	mid := lo + (hi-lo)/2
+	return append(badProofsIn(subs, lo, mid, round, chain),
+		badProofsIn(subs, mid, hi, round, chain)...)
+}
+
+// sweepProofs is the per-proof reference loop, the ground truth the
+// batch path must agree with.
+func sweepProofs(subs []onion.Submission, lo, hi int, round uint64, chain int) []int {
+	var bad []int
+	for i := lo; i < hi; i++ {
+		if onion.VerifySubmission(subs[i], round, chain) != nil {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}

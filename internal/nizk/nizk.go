@@ -14,12 +14,22 @@
 //     the key-generation certificates (§6.1), and every key-reveal
 //     step of the blame protocol (§6.4).
 //
+// The knowledge proof exists in two encodings. The original
+// (challenge, response) Proof stays in use for the handful of
+// per-round server proofs; user submissions use the commitment-format
+// DlogProof (commitment, response), because transmitting the
+// commitment instead of the challenge is what makes batch
+// verification possible (see VerifyDlogBatch).
+//
 // All proofs bind a caller-supplied context string (round, chain and
 // server identifiers) so a proof cannot be replayed elsewhere.
 package nizk
 
 import (
+	"crypto/rand"
 	"errors"
+	"fmt"
+	"math/big"
 
 	"repro/internal/group"
 )
@@ -118,6 +128,136 @@ func VerifyDleq(context string, b1, y1, b2, y2 group.Point, p Proof) error {
 	t1 := b1.Mul(p.S).Add(y1.Mul(p.C).Neg())
 	t2 := b2.Mul(p.S).Add(y2.Mul(p.C).Neg())
 	if !dleqChallenge(context, b1, y1, b2, y2, t1, t2).Equal(p.C) {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+// DlogProofSize is the encoded size of a commitment-format knowledge
+// proof (commitment point followed by response scalar).
+const DlogProofSize = group.PointSize + group.ScalarSize
+
+// DlogProof is a Schnorr proof of knowledge in commitment format: the
+// prover sends the commitment T = base^v and the response
+// s = v + c·x, and the verifier recomputes the challenge c by hashing
+// T (it is never transmitted). Unlike the (c, s) Proof — whose check
+// reconstructs T from c and therefore needs one verification equation
+// per proof — this format admits batch verification: the per-proof
+// equations base^sᵢ = Tᵢ·Xᵢ^cᵢ can be folded into a single
+// multi-scalar product with random weights.
+type DlogProof struct {
+	T group.Point  // commitment base^v
+	S group.Scalar // response s = v + c·x
+}
+
+// Bytes encodes the proof as T || S.
+func (p DlogProof) Bytes() []byte {
+	out := make([]byte, 0, DlogProofSize)
+	out = append(out, p.T.Bytes()...)
+	return append(out, p.S.Bytes()...)
+}
+
+// ParseDlogProof decodes a proof encoded by Bytes, rejecting
+// off-curve commitments and non-canonical scalars.
+func ParseDlogProof(b []byte) (DlogProof, error) {
+	if len(b) != DlogProofSize {
+		return DlogProof{}, ErrInvalidProof
+	}
+	t, err := group.ParsePoint(b[:group.PointSize])
+	if err != nil {
+		return DlogProof{}, ErrInvalidProof
+	}
+	s, err := group.ParseScalar(b[group.PointSize:])
+	if err != nil {
+		return DlogProof{}, ErrInvalidProof
+	}
+	return DlogProof{T: t, S: s}, nil
+}
+
+func dlogCommitChallenge(context string, base, public, commit group.Point) group.Scalar {
+	return group.HashToScalar("xrd/nizk/dlog-commit/v1",
+		[]byte(context), base.Bytes(), public.Bytes(), commit.Bytes())
+}
+
+// ProveDlogCommit proves knowledge of x such that public = base^x, in
+// commitment format.
+func ProveDlogCommit(context string, base group.Point, x group.Scalar) DlogProof {
+	v := group.MustRandomScalar()
+	commit := base.Mul(v)
+	public := base.Mul(x)
+	c := dlogCommitChallenge(context, base, public, commit)
+	return DlogProof{T: commit, S: v.Add(c.Mul(x))}
+}
+
+// VerifyDlogCommit checks a ProveDlogCommit proof for the statement
+// public = base^x: the challenge is re-derived from the transmitted
+// commitment and base^s must equal T·public^c.
+func VerifyDlogCommit(context string, base, public group.Point, p DlogProof) error {
+	if base.IsIdentity() || public.IsIdentity() {
+		// A trivial base or key admits degenerate proofs; XRD never
+		// produces them, so reject outright.
+		return ErrInvalidProof
+	}
+	c := dlogCommitChallenge(context, base, public, p.T)
+	lhs := base.Mul(p.S)
+	rhs := p.T.Add(public.Mul(c))
+	if !lhs.Equal(rhs) {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+// batchRandomizerBytes sizes the per-proof random weights rᵢ of the
+// batch check. 128 bits make the probability that a batch containing
+// any invalid proof still verifies at most 2^−128.
+const batchRandomizerBytes = 16
+
+// VerifyDlogBatch verifies many commitment-format proofs over a
+// common base in one shot. Each proof i asserts
+// base^sᵢ = Tᵢ·publicsᵢ^cᵢ with cᵢ re-derived from contextsᵢ; the
+// batch check draws random weights rᵢ and tests the single equation
+//
+//	base^(Σ rᵢ·sᵢ) = Π Tᵢ^rᵢ · Π publicsᵢ^(rᵢ·cᵢ)
+//
+// via one multi-scalar multiplication, which costs far less than n
+// separate verifications. A nil return guarantees (up to the 2^−128
+// randomizer soundness) that every individual proof verifies; on
+// error the caller learns only that at least one proof is bad and
+// must bisect or fall back to VerifyDlogCommit to attribute blame.
+func VerifyDlogBatch(contexts []string, base group.Point, publics []group.Point, proofs []DlogProof) error {
+	n := len(proofs)
+	if len(contexts) != n || len(publics) != n {
+		return fmt.Errorf("nizk: batch of %d proofs with %d contexts and %d publics", n, len(contexts), len(publics))
+	}
+	if n == 0 {
+		return nil
+	}
+	if base.IsIdentity() {
+		return ErrInvalidProof
+	}
+	rnd := make([]byte, n*batchRandomizerBytes)
+	if _, err := rand.Read(rnd); err != nil {
+		return fmt.Errorf("nizk: sampling batch randomizers: %w", err)
+	}
+	points := make([]group.Point, 0, 2*n)
+	scalars := make([]group.Scalar, 0, 2*n)
+	sSum := group.NewScalar(0)
+	for i := range proofs {
+		if publics[i].IsIdentity() {
+			return ErrInvalidProof
+		}
+		c := dlogCommitChallenge(contexts[i], base, publics[i], proofs[i].T)
+		r := group.ScalarFromBig(new(big.Int).SetBytes(rnd[i*batchRandomizerBytes : (i+1)*batchRandomizerBytes]))
+		if r.IsZero() {
+			r = group.NewScalar(1)
+		}
+		sSum = sSum.Add(r.Mul(proofs[i].S))
+		points = append(points, proofs[i].T, publics[i])
+		scalars = append(scalars, r, r.Mul(c))
+	}
+	lhs := base.Mul(sSum)
+	rhs := group.MultiScalarMult(points, scalars)
+	if !lhs.Equal(rhs) {
 		return ErrInvalidProof
 	}
 	return nil

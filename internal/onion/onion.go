@@ -200,10 +200,12 @@ func (e Envelope) Clone() Envelope {
 
 // Submission is what a user sends to every server of a chain: the
 // envelope plus the NIZK that she knows the discrete log of her DH
-// key (§6.2 step 2), which the AHS security game requires.
+// key (§6.2 step 2), which the AHS security game requires. The proof
+// is commitment-format (nizk.DlogProof) so servers can verify whole
+// batches with one multi-scalar multiplication.
 type Submission struct {
 	Envelope
-	Proof nizk.Proof
+	Proof nizk.DlogProof
 }
 
 // AHSCiphertextSize is the outer ciphertext size for a chain of k
@@ -215,9 +217,11 @@ func AHSCiphertextSize(k int) int {
 // SubmissionWireSize is the total bytes one AHS submission puts on
 // the wire for a chain of k servers: the user's Diffie-Hellman key,
 // the outer ciphertext, and the knowledge proof. It feeds the
-// Figure 2 bandwidth model.
+// Figure 2 bandwidth model. The commitment-format proof costs one
+// extra byte over the (c, s) encoding (a compressed point instead of
+// a scalar) — the price of batch verifiability.
 func SubmissionWireSize(k int) int {
-	return group.PointSize + AHSCiphertextSize(k) + nizk.ProofSize
+	return group.PointSize + AHSCiphertextSize(k) + nizk.DlogProofSize
 }
 
 // SubmitContext is the Fiat-Shamir context binding a user's PoK to a
@@ -251,7 +255,7 @@ func WrapAHS(s aead.Scheme, innerAgg group.Point, mixKeys []group.Point, round u
 		k := [aead.KeySize]byte(key)
 		ct = s.Seal(make([]byte, 0, len(ct)+aead.Overhead), &k, &nonce, ct)
 	}
-	proof := nizk.ProveDlog(SubmitContext(round, chain), group.Generator(), x)
+	proof := nizk.ProveDlogCommit(SubmitContext(round, chain), group.Generator(), x)
 	return Submission{
 		Envelope: Envelope{DHKey: group.Base(x), Ct: ct},
 		Proof:    proof,
@@ -272,7 +276,7 @@ func WrapPartialAHS(s aead.Scheme, mixKeys []group.Point, round uint64, chain in
 		k := [aead.KeySize]byte(key)
 		ct = s.Seal(make([]byte, 0, len(ct)+aead.Overhead), &k, &nonce, ct)
 	}
-	proof := nizk.ProveDlog(SubmitContext(round, chain), group.Generator(), x)
+	proof := nizk.ProveDlogCommit(SubmitContext(round, chain), group.Generator(), x)
 	return Submission{
 		Envelope: Envelope{DHKey: group.Base(x), Ct: ct},
 		Proof:    proof,
@@ -282,7 +286,24 @@ func WrapPartialAHS(s aead.Scheme, mixKeys []group.Point, round uint64, chain in
 // VerifySubmission checks a user's knowledge proof against the round
 // and chain it was submitted to.
 func VerifySubmission(sub Submission, round uint64, chain int) error {
-	return nizk.VerifyDlog(SubmitContext(round, chain), group.Generator(), sub.DHKey, sub.Proof)
+	return nizk.VerifyDlogCommit(SubmitContext(round, chain), group.Generator(), sub.DHKey, sub.Proof)
+}
+
+// VerifySubmissionBatch checks every submission's knowledge proof in
+// one batched multi-scalar multiplication. A nil return means all
+// proofs verify; on error at least one is invalid and the caller must
+// bisect or fall back to VerifySubmission to identify culprits.
+func VerifySubmissionBatch(subs []Submission, round uint64, chain int) error {
+	ctx := SubmitContext(round, chain)
+	contexts := make([]string, len(subs))
+	publics := make([]group.Point, len(subs))
+	proofs := make([]nizk.DlogProof, len(subs))
+	for i := range subs {
+		contexts[i] = ctx
+		publics[i] = subs[i].DHKey
+		proofs[i] = subs[i].Proof
+	}
+	return nizk.VerifyDlogBatch(contexts, group.Generator(), publics, proofs)
 }
 
 // PeelAHS removes one outer layer: the server derives the key from

@@ -44,7 +44,8 @@ type ParamsResponse struct {
 	InnerAggregate []byte
 }
 
-// WireSubmission is one onion.Submission in wire form.
+// WireSubmission is one onion.Submission in wire form. Proof is a
+// commitment-format knowledge proof (nizk.DlogProofSize bytes).
 type WireSubmission struct {
 	Chain int
 	DHKey []byte
@@ -176,7 +177,7 @@ func submissionFromWire(w WireSubmission) (int, onion.Submission, error) {
 	if err != nil {
 		return 0, onion.Submission{}, fmt.Errorf("rpc: submission key: %w", err)
 	}
-	proof, err := nizk.ParseProof(w.Proof)
+	proof, err := nizk.ParseDlogProof(w.Proof)
 	if err != nil {
 		return 0, onion.Submission{}, fmt.Errorf("rpc: submission proof: %w", err)
 	}
