@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads `go test -bench` text output and extracts every
+// benchmark result line. Header lines (goos/goarch/pkg/cpu) annotate
+// subsequent results; anything else — PASS, ok, test log noise — is
+// ignored. A benchmark line has the shape
+//
+//	BenchmarkName-8   	      10	 123456 ns/op	 12 B/op	 3 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %w", err)
+			}
+			if b == nil {
+				continue // e.g. "BenchmarkFoo 	--- SKIP" or stray prefix
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, *b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line, returning (nil, nil) for
+// Benchmark-prefixed lines that are not results (skips, failures).
+func parseBenchLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "--- SKIP" and friends
+	}
+	b := &Benchmark{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metric value %q in %q: %w", rest[i], line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

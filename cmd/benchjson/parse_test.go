@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/mix
+cpu: AMD EPYC 7B13
+BenchmarkChainRound32Servers100Msgs-8   	       1	 123456789 ns/op
+BenchmarkSubmissionVerify/serial-1024-8 	       2	   5000000 ns/op	  204.8 proofs/ms
+--- SKIP: BenchmarkFlaky
+PASS
+ok  	repro/internal/mix	1.234s
+pkg: repro
+BenchmarkRoundPipeline/users=64/workers=4-8 	       1	  42000000 ns/op	      1523 users/s	  100 B/op	  3 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Pkg != "repro/internal/mix" || first.Name != "ChainRound32Servers100Msgs-8" || first.Iterations != 1 {
+		t.Fatalf("first: %+v", first)
+	}
+	if first.Metrics["ns/op"] != 123456789 {
+		t.Fatalf("first metrics: %+v", first.Metrics)
+	}
+	second := rep.Benchmarks[1]
+	if second.Metrics["proofs/ms"] != 204.8 {
+		t.Fatalf("custom metric lost: %+v", second.Metrics)
+	}
+	third := rep.Benchmarks[2]
+	if third.Pkg != "repro" || third.Metrics["users/s"] != 1523 || third.Metrics["allocs/op"] != 3 {
+		t.Fatalf("third: %+v", third)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks from empty input: %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseMalformedMetricValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 1 abc ns/op\n")); err == nil {
+		t.Fatal("malformed metric value accepted")
+	}
+}

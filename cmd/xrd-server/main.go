@@ -1,12 +1,27 @@
-// Command xrd-server runs an XRD deployment behind a TLS gateway:
-// the mix chains, mailbox cluster and round driver of Figure 1 in one
-// process, serving remote users (xrd-client) over the network.
+// Command xrd-server runs one process of an XRD deployment. Two
+// roles:
 //
-// The pinned certificate remote clients need is written to -cert-out
-// (the paper's assumed PKI distributes server identities; the file
-// plays that role here).
+// Role "gateway" (default) assembles the deployment — mix chains,
+// mailbox cluster, round driver (Figure 1) — and serves remote users
+// (xrd-client) over TLS. Chain positions listed in -hops are not
+// hosted in-process: the gateway drives them over the hop transport,
+// so a deployment can span N processes and machines.
 //
-//	xrd-server -addr 127.0.0.1:7900 -servers 20 -k 6 -interval 5s
+// Role "mix" hosts a single mix server at one chain position. It
+// starts keyless and unbound; the gateway binds it to its position
+// (and supplies the base its keys chain off) during setup. Which
+// position it serves is decided by the gateway's -hops flag.
+//
+// Every process writes its pinned TLS certificate to -cert-out (the
+// paper's assumed PKI distributes server identities; the files play
+// that role here): clients pin the gateway's, the gateway pins each
+// mix process's.
+//
+//	xrd-server -role mix -addr 127.0.0.1:7901 -cert-out mix1.pem
+//	xrd-server -role mix -addr 127.0.0.1:7902 -cert-out mix2.pem
+//	xrd-server -role mix -addr 127.0.0.1:7903 -cert-out mix3.pem
+//	xrd-server -addr 127.0.0.1:7900 -servers 3 -chains 1 -k 3 \
+//	    -hops "0:0=127.0.0.1:7901=mix1.pem,0:1=127.0.0.1:7902=mix2.pem,0:2=127.0.0.1:7903=mix3.pem"
 package main
 
 import (
@@ -15,62 +30,130 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/mix"
 	"repro/internal/rpc"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7900", "gateway listen address")
-		servers  = flag.Int("servers", 20, "number of mix servers N (chains n = N)")
+		role     = flag.String("role", "gateway", "process role: gateway (deployment + user API) or mix (one remote chain position)")
+		addr     = flag.String("addr", "127.0.0.1:7900", "TLS listen address")
+		certOut  = flag.String("cert-out", "xrd-gateway.pem", "file to write the pinned TLS certificate to")
+		servers  = flag.Int("servers", 20, "number of mix servers N")
+		chains   = flag.Int("chains", 0, "number of chains n (0 means n = N as in the paper)")
 		k        = flag.Int("k", 6, "chain length override (0 derives k from -f)")
 		f        = flag.Float64("f", 0.2, "assumed fraction of malicious servers")
 		seed     = flag.String("seed", "public-beacon", "public randomness seed for chain formation")
 		boxes    = flag.Int("mailboxes", 2, "mailbox server count")
 		interval = flag.Duration("interval", 10*time.Second, "round interval (0 = rounds only via client trigger)")
-		certOut  = flag.String("cert-out", "xrd-gateway.pem", "file to write the pinned TLS certificate to")
+		hops     = flag.String("hops", "", `remote chain positions as "chain:pos=addr=certfile,..." (gateway role)`)
 	)
 	flag.Parse()
 
-	net, err := core.NewNetwork(core.Config{
-		NumServers:          *servers,
-		ChainLengthOverride: *k,
-		F:                   *f,
-		Seed:                []byte(*seed),
-		MailboxServers:      *boxes,
-	})
+	switch *role {
+	case "gateway":
+		runGateway(*addr, *certOut, *servers, *chains, *k, *f, *seed, *boxes, *interval, *hops)
+	case "mix":
+		runMix(*addr, *certOut)
+	default:
+		log.Fatalf("unknown role %q (want gateway or mix)", *role)
+	}
+}
+
+// runMix hosts one chain position behind the hop transport and waits.
+func runMix(addr, certOut string) {
+	hs, err := rpc.NewHopServer(addr, nil)
+	if err != nil {
+		log.Fatalf("starting hop endpoint: %v", err)
+	}
+	defer hs.Close()
+	if err := writeCert(hs.CertificatePEM, certOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xrd-server[mix]: hop endpoint on %s (certificate in %s), waiting for gateway binding\n", hs.Addr(), certOut)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nxrd-server[mix]: shutting down")
+}
+
+// runGateway assembles the deployment (dialing remote hops first) and
+// serves users.
+func runGateway(addr, certOut string, servers, chains, k int, f float64, seed string, boxes int, interval time.Duration, hopSpec string) {
+	remotes, err := parseHopSpecs(hopSpec)
+	if err != nil {
+		log.Fatalf("parsing -hops: %v", err)
+	}
+	used := make(map[[2]int]bool)
+	cfg := core.Config{
+		NumServers:          servers,
+		NumChains:           chains,
+		ChainLengthOverride: k,
+		F:                   f,
+		Seed:                []byte(seed),
+		MailboxServers:      boxes,
+	}
+	if len(remotes) > 0 {
+		cfg.RemoteHops = func(chain, pos int, base group.Point) (mix.Hop, error) {
+			spec, ok := remotes[[2]int{chain, pos}]
+			if !ok {
+				return nil, nil
+			}
+			pem, err := os.ReadFile(spec.certFile)
+			if err != nil {
+				return nil, fmt.Errorf("reading %s: %w", spec.certFile, err)
+			}
+			tlsCfg, err := rpc.ClientTLSFromPEM(pem)
+			if err != nil {
+				return nil, err
+			}
+			hc := rpc.DialHop(spec.addr, tlsCfg)
+			if _, err := hc.Init(chain, pos, base); err != nil {
+				return nil, fmt.Errorf("binding %s to %d:%d: %w", spec.addr, chain, pos, err)
+			}
+			used[[2]int{chain, pos}] = true
+			return hc, nil
+		}
+	}
+
+	net, err := core.NewNetwork(cfg)
 	if err != nil {
 		log.Fatalf("assembling network: %v", err)
 	}
-	gw, err := rpc.NewServer(net, *addr)
+	for key := range remotes {
+		if !used[key] {
+			log.Fatalf("-hops entry %d:%d matches no chain position of this topology", key[0], key[1])
+		}
+	}
+
+	gw, err := rpc.NewServer(net, addr)
 	if err != nil {
 		log.Fatalf("starting gateway: %v", err)
 	}
 	defer gw.Close()
-
-	pem, err := gw.CertificatePEM()
-	if err != nil {
-		log.Fatalf("exporting certificate: %v", err)
-	}
-	if err := os.WriteFile(*certOut, pem, 0o644); err != nil {
-		log.Fatalf("writing certificate: %v", err)
+	if err := writeCert(gw.CertificatePEM, certOut); err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user\n",
-		net.NumChains(), net.Topology().ChainLength, net.Plan().L)
-	fmt.Printf("xrd-server: listening on %s (certificate in %s)\n", gw.Addr(), *certOut)
+	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user, %d remote positions\n",
+		net.NumChains(), net.Topology().ChainLength, net.Plan().L, len(remotes))
+	fmt.Printf("xrd-server: listening on %s (certificate in %s)\n", gw.Addr(), certOut)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 
-	if *interval <= 0 {
+	if interval <= 0 {
 		fmt.Println("xrd-server: rounds run on client trigger only")
 		<-stop
 		return
 	}
-	ticker := time.NewTicker(*interval)
+	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -80,8 +163,14 @@ func main() {
 		case <-ticker.C:
 			rep, err := net.RunRound()
 			if err != nil {
+				// A non-nil report alongside the error means the
+				// round itself completed (announcing the next one
+				// failed — typically a dead remote hop, whose chain
+				// halted); its attribution is still worth printing.
 				log.Printf("round failed: %v", err)
-				continue
+				if rep == nil {
+					continue
+				}
 			}
 			fmt.Printf("round %d: delivered=%d halted=%v failed=%v blamed-users=%v covered=%d\n",
 				rep.Round, rep.Delivered, rep.HaltedChains, rep.FailedChains,
@@ -89,4 +178,54 @@ func main() {
 			net.PruneBefore(rep.Round - 4)
 		}
 	}
+}
+
+type hopSpec struct {
+	addr     string
+	certFile string
+}
+
+// parseHopSpecs parses "chain:pos=addr=certfile,..." into a position
+// map.
+func parseHopSpecs(s string) (map[[2]int]hopSpec, error) {
+	out := make(map[[2]int]hopSpec)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		parts := strings.Split(entry, "=")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("entry %q: want chain:pos=addr=certfile", entry)
+		}
+		chainPos := strings.Split(parts[0], ":")
+		if len(chainPos) != 2 {
+			return nil, fmt.Errorf("entry %q: position %q is not chain:pos", entry, parts[0])
+		}
+		chain, err := strconv.Atoi(chainPos[0])
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: chain: %w", entry, err)
+		}
+		pos, err := strconv.Atoi(chainPos[1])
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: position: %w", entry, err)
+		}
+		key := [2]int{chain, pos}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("position %d:%d listed twice", chain, pos)
+		}
+		out[key] = hopSpec{addr: parts[1], certFile: parts[2]}
+	}
+	return out, nil
+}
+
+func writeCert(pemOf func() ([]byte, error), path string) error {
+	pem, err := pemOf()
+	if err != nil {
+		return fmt.Errorf("exporting certificate: %w", err)
+	}
+	if err := os.WriteFile(path, pem, 0o644); err != nil {
+		return fmt.Errorf("writing certificate: %w", err)
+	}
+	return nil
 }

@@ -1,8 +1,11 @@
-// Network: the same conversation as quickstart, but with the users on
-// the far side of a real TLS connection — the production deployment
-// shape. A gateway serves chain parameters, accepts submissions
-// (current messages plus next-round covers) and hands out mailboxes;
-// users trust it only for availability.
+// Network: the same conversation as quickstart, but deployed the way
+// a production XRD network runs — users on the far side of a real TLS
+// connection, and the mix chain itself spanning separate server
+// processes. Three hop endpoints stand in for three machines: the
+// gateway binds each to one chain position and relays the round's
+// onion batches hop to hop over the TLS hop transport (chunked
+// streaming, pinned certificates), so every mixing step here crosses
+// a real socket. Users trust the gateway only for availability.
 //
 // Run with: go run ./examples/network
 package main
@@ -13,16 +16,43 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/mix"
 	"repro/internal/onion"
 	"repro/internal/rpc"
 )
 
 func main() {
-	// Server side: assemble the deployment and open the TLS endpoint.
+	// "Machines": one hop endpoint per chain position, each with its
+	// own pinned certificate. In a real deployment these are
+	// `xrd-server -role mix` processes on separate hosts.
+	const chainLen = 3
+	hopServers := make([]*rpc.HopServer, chainLen)
+	for i := range hopServers {
+		hs, err := rpc.NewHopServer("127.0.0.1:0", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hs.Close()
+		hopServers[i] = hs
+		fmt.Printf("mix position %d listening on %s\n", i, hs.Addr())
+	}
+
+	// Gateway side: assemble a single chain whose every position is
+	// remote. The provider is called in position order because each
+	// position's keys chain off the previous one's blinding key.
 	net, err := core.NewNetwork(core.Config{
-		NumServers:          10,
-		ChainLengthOverride: 3,
+		NumServers:          chainLen,
+		NumChains:           1,
+		ChainLengthOverride: chainLen,
 		Seed:                []byte("network-demo"),
+		RemoteHops: func(chain, pos int, base group.Point) (mix.Hop, error) {
+			hc := rpc.DialHop(hopServers[pos].Addr(), hopServers[pos].ClientTLS())
+			if _, err := hc.Init(chain, pos, base); err != nil {
+				return nil, err
+			}
+			return hc, nil
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +85,7 @@ func main() {
 	if err := bob.StartConversation(alice.PublicKey()); err != nil {
 		log.Fatal(err)
 	}
-	if err := alice.QueueMessage([]byte("hello over TLS")); err != nil {
+	if err := alice.QueueMessage([]byte("hello across three processes")); err != nil {
 		log.Fatal(err)
 	}
 
@@ -63,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("deployment: round %d, %d chains of %d, l=%d\n", st.Round, st.NumChains, st.ChainLength, st.L)
+	fmt.Printf("deployment: round %d, %d chain(s) of %d, l=%d\n", st.Round, st.NumChains, st.ChainLength, st.L)
 
 	// Build and submit both users' rounds remotely; the rpc.Client is
 	// a client.ParamsSource, so the user code is identical to the
@@ -85,7 +115,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("round %d executed: %d messages delivered\n", rep.Round, rep.Delivered)
+	fmt.Printf("round %d executed over the distributed chain: %d messages delivered\n", rep.Round, rep.Delivered)
 
 	msgs, err := bobConn.Fetch(rep.Round, bob.Mailbox())
 	if err != nil {

@@ -34,6 +34,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/aead"
 	"repro/internal/chainsel"
 	"repro/internal/client"
+	"repro/internal/group"
 	"repro/internal/mailbox"
 	"repro/internal/mix"
 	"repro/internal/onion"
@@ -75,6 +77,14 @@ type Config struct {
 	// means runtime.GOMAXPROCS(0). One worker reproduces the serial
 	// build order for deterministic comparisons.
 	Workers int
+	// RemoteHops, when non-nil, is consulted for every chain position
+	// while the network is assembled, in chain order then position
+	// order. Returning a non-nil mix.Hop hosts that position on a
+	// remote process reached through the hop transport (typically an
+	// rpc.HopClient initialised against the given base key, which is
+	// g for position 0 and the previous position's blinding key
+	// otherwise); returning nil keeps the position in-process.
+	RemoteHops func(chain, position int, base group.Point) (mix.Hop, error)
 }
 
 // Network is a fully assembled XRD deployment.
@@ -173,7 +183,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		banned:        make(map[string]bool),
 	}
 	for c := range topo.Chains {
-		chain, err := mix.NewChain(c, topo.ChainLength, cfg.Scheme)
+		chain, err := n.assembleChain(c)
 		if err != nil {
 			return nil, fmt.Errorf("core: keying chain %d: %w", c, err)
 		}
@@ -188,13 +198,52 @@ func NewNetwork(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-func (n *Network) announce(round uint64) error {
-	for _, c := range n.chains {
-		if err := c.BeginRound(round); err != nil {
-			return fmt.Errorf("core: announcing round %d: %w", round, err)
-		}
+// assembleChain keys one chain, placing each position in-process or
+// on a remote hop according to Config.RemoteHops. Remote key setup is
+// inherently sequential within a chain — position i's keys chain off
+// position i−1's blinding key (§6.1) — which is why the provider
+// receives the base point.
+func (n *Network) assembleChain(c int) (*mix.Chain, error) {
+	if n.cfg.RemoteHops == nil {
+		return mix.NewChain(c, n.topo.ChainLength, n.scheme)
 	}
-	return nil
+	hops := make([]mix.Hop, n.topo.ChainLength)
+	base := group.Generator()
+	for i := range hops {
+		h, err := n.cfg.RemoteHops(c, i, base)
+		if err != nil {
+			return nil, fmt.Errorf("core: remote hop for chain %d position %d: %w", c, i, err)
+		}
+		if h == nil {
+			h = mix.LocalHop(mix.NewChainServer(c, i, base, n.scheme))
+		}
+		hops[i] = h
+		base = h.Keys().Bpk
+	}
+	return mix.NewChainFromHops(c, hops, n.scheme)
+}
+
+// announce publishes round's inner keys on every chain, in parallel —
+// with remote hops each chain's announcement is k sequential network
+// exchanges, and the chains are independent, so announcing serially
+// would put n·k round-trips on every round's critical path. It is
+// also best-effort across chains: one chain failing (a dead remote
+// hop, say) must not leave the others without announced keys, so
+// every chain is attempted and the errors joined.
+func (n *Network) announce(round uint64) error {
+	errs := make([]error, len(n.chains))
+	var wg sync.WaitGroup
+	for i, c := range n.chains {
+		wg.Add(1)
+		go func(i int, c *mix.Chain) {
+			defer wg.Done()
+			if err := c.BeginRound(round); err != nil {
+				errs[i] = fmt.Errorf("core: announcing round %d: %w", round, err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Plan exposes the chain-selection plan (for tests and experiments).
@@ -288,7 +337,11 @@ func (n *Network) CorruptServer(chain, position int, c *mix.Corruption) error {
 	if position < 0 || position >= n.chains[chain].Len() {
 		return fmt.Errorf("core: chain %d has no position %d", chain, position)
 	}
-	n.chains[chain].Servers[position].Corruption = c
+	s := n.chains[chain].Servers[position]
+	if s == nil {
+		return fmt.Errorf("core: chain %d position %d is hosted remotely; corruption hooks need an in-process server", chain, position)
+	}
+	s.Corruption = c
 	return nil
 }
 
@@ -517,6 +570,15 @@ func (n *Network) RunRound() (*RoundReport, error) {
 
 	report := &RoundReport{Round: rho}
 
+	// Re-announce the rounds this execution needs. BeginRound is
+	// idempotent, so on the happy path this is a map hit per chain;
+	// after a failed trailing announce (a remote hop that blipped
+	// last round and recovered) it is the retry that un-wedges the
+	// deployment. Chains that still cannot announce surface through
+	// snapshotParams below.
+	_ = n.announce(rho)
+	_ = n.announce(rho + 1)
+
 	// Stage 1: build. Fan the per-user onion construction out over
 	// the worker pool against an immutable parameter snapshot.
 	snap, err := n.snapshotParams(rho)
@@ -634,7 +696,11 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	next := n.round + 1
 	n.mu.Unlock()
 	if err := n.announce(next); err != nil {
-		return nil, err
+		// The executed round is complete and its report valid; what
+		// failed is announcing round next's keys — typically a remote
+		// hop that died (its chain halted above). Return both so the
+		// caller keeps this round's outcome alongside the failure.
+		return report, err
 	}
 	return report, nil
 }

@@ -22,7 +22,10 @@ import (
 func (c *Chain) RunRoundBaseline(round uint64, lane byte, cts [][]byte) ([][]byte, error) {
 	nonce := aead.RoundNonce(round, lane)
 	cur := cts
-	for _, s := range c.Servers {
+	for i, s := range c.Servers {
+		if s == nil {
+			return nil, fmt.Errorf("mix: baseline mode needs in-process servers; chain %d position %d is remote", c.ID, i)
+		}
 		next := make([][]byte, len(cur))
 		var wg sync.WaitGroup
 		workers := runtime.GOMAXPROCS(0)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/aead"
-	"repro/internal/group"
 	"repro/internal/nizk"
 	"repro/internal/onion"
 )
@@ -21,6 +20,11 @@ import (
 // malicious and is removed; if any server's reveal fails to verify,
 // that server is blamed and the round halts with the inner keys
 // destroyed, so nothing about honest users leaks either way.
+//
+// Reveals arrive through the hop transport; every verification runs
+// against the orchestrator's own posRecord of the position's traffic,
+// so a remote position that refuses to reveal, or reveals something
+// inconsistent with what it actually forwarded, convicts itself.
 
 // blameVerdict is the outcome of one blame protocol execution.
 type blameVerdict struct {
@@ -37,41 +41,14 @@ func blameContext(round uint64, chain, server, msg int, step string) string {
 	return fmt.Sprintf("xrd/blame/round=%d/chain=%d/server=%d/msg=%d/%s", round, chain, server, msg, step)
 }
 
-// blameReveal is one server's disclosure for one problem message.
-type blameReveal struct {
-	// Xin is the message's Diffie-Hellman key as it entered the
-	// server (step 1 of §6.4).
-	Xin group.Point
-	// BlindProof shows log_Xin(Xout) = log_bpkPrev(bpk) = bsk.
-	BlindProof nizk.Proof
-	// K is the exchanged decryption key Xin^msk (step 2).
-	K group.Point
-	// KeyProof shows log_Xin(K) = log_bpkPrev(mpk) = msk.
-	KeyProof nizk.Proof
-}
-
-// revealFor produces the server's blame disclosure for the message at
-// input position pos. A corrupt server cannot do better than reveal
-// its true keys — any fabricated reveal fails the DLEQ checks, which
-// is what the verdict relies on.
-func (s *Server) revealFor(round uint64, msg int, pos int) blameReveal {
-	xin := s.lastIn[pos].DHKey
-	return blameReveal{
-		Xin:        xin,
-		BlindProof: nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "blind"), xin, s.bpkPrev, s.bsk),
-		K:          xin.Mul(s.msk),
-		KeyProof:   nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "key"), xin, s.bpkPrev, s.msk),
-	}
-}
-
-// runBlame executes the blame protocol at accusing server h for every
-// failed working index. st carries the working set and lineage
-// anchors (see roundState).
-func (c *Chain) runBlame(round uint64, nonce [aead.NonceSize]byte, h int, failed []int, st *roundState) blameVerdict {
+// runBlame executes the blame protocol at accusing position h for
+// every failed working index. st carries the working set and lineage
+// anchors (see roundState); states the per-position traffic records.
+func (c *Chain) runBlame(round uint64, nonce [aead.NonceSize]byte, h int, failed []int, st *roundState, states []posRecord) blameVerdict {
 	var v blameVerdict
 	blamedServers := make(map[int]bool)
 	for _, j := range failed {
-		sv := c.blameOne(round, nonce, h, j, st)
+		sv := c.blameOne(round, nonce, h, j, st, states)
 		for _, b := range sv.Servers {
 			if !blamedServers[b] {
 				blamedServers[b] = true
@@ -84,8 +61,8 @@ func (c *Chain) runBlame(round uint64, nonce [aead.NonceSize]byte, h int, failed
 }
 
 // blameOne traces a single problem ciphertext. j is the index into
-// the accusing server's current input (st.envs).
-func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st *roundState) blameVerdict {
+// the accusing position's current input (st.envs).
+func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st *roundState, states []posRecord) blameVerdict {
 	accused := st.envs[j]
 
 	// Trace the message's position at every upstream server through
@@ -99,27 +76,32 @@ func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st 
 	p := st.slot[j]
 	for i := h - 1; i >= 0; i-- {
 		outPos[i] = p
-		inPos[i] = c.Servers[i].lastOut2In[p]
+		inPos[i] = states[i].out2in[p]
 		if i > 0 {
-			p = c.Servers[i].lastInSlots[inPos[i]]
+			p = states[i].inSlots[inPos[i]]
 		}
 	}
 
 	// Steps 1-3: walk from the first server down to h, replaying the
 	// decryption chain from the submitted ciphertext.
 	for i := 0; i < h; i++ {
-		s := c.Servers[i]
-		rev := s.revealFor(round, j, inPos[i])
-		xout := s.lastOut[outPos[i]].DHKey
+		rec := &states[i]
+		rev, err := c.hops[i].BlameReveal(round, j, inPos[i])
+		if err != nil {
+			// Refusing (or failing) to reveal is indistinguishable
+			// from hiding misbehaviour — the position is blamed.
+			return blameVerdict{Servers: []int{i}}
+		}
+		xout := rec.out[outPos[i]].DHKey
 
 		// (1) The blinding was applied correctly to this message.
 		if err := nizk.VerifyDleq(blameContext(round, c.ID, i, j, "blind"),
-			rev.Xin, xout, s.bpkPrev, s.bpk, rev.BlindProof); err != nil {
+			rev.Xin, xout, c.keys[i].BpkPrev, c.keys[i].Bpk, rev.BlindProof); err != nil {
 			return blameVerdict{Servers: []int{i}}
 		}
 		// (2) The revealed decryption key matches the mixing key.
 		if err := nizk.VerifyDleq(blameContext(round, c.ID, i, j, "key"),
-			rev.Xin, rev.K, s.bpkPrev, s.mpk, rev.KeyProof); err != nil {
+			rev.Xin, rev.K, c.keys[i].BpkPrev, c.keys[i].Mpk, rev.KeyProof); err != nil {
 			return blameVerdict{Servers: []int{i}}
 		}
 		// (3a) First server: the input must be the user's submitted
@@ -127,7 +109,7 @@ func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st 
 		// layers).
 		if i == 0 {
 			orig, ok := st.subs[st.origin[j]]
-			if !ok || !bytes.Equal(s.lastIn[inPos[0]].Ct, orig.Ct) || !s.lastIn[inPos[0]].DHKey.Equal(orig.DHKey) {
+			if !ok || !bytes.Equal(rec.in[inPos[0]].Ct, orig.Ct) || !rec.in[inPos[0]].DHKey.Equal(orig.DHKey) {
 				// The first server substituted the input set after
 				// agreement — blame it.
 				return blameVerdict{Servers: []int{0}}
@@ -135,8 +117,8 @@ func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st 
 		}
 		// (3b) Decrypting the input with the revealed key must yield
 		// exactly the ciphertext the server forwarded.
-		got, err := onion.OpenWithRevealedKey(c.scheme, rev.K, nonce, s.lastIn[inPos[i]].Ct)
-		if err != nil || !bytes.Equal(got, s.lastOut[outPos[i]].Ct) {
+		got, err := onion.OpenWithRevealedKey(c.scheme, rev.K, nonce, rec.in[inPos[i]].Ct)
+		if err != nil || !bytes.Equal(got, rec.out[outPos[i]].Ct) {
 			return blameVerdict{Servers: []int{i}}
 		}
 	}
@@ -145,14 +127,15 @@ func (c *Chain) blameOne(round uint64, nonce [aead.NonceSize]byte, h, j int, st 
 	// everyone checks the decryption really fails. If it succeeds the
 	// accusation was false and the accuser is blamed; honest users
 	// can never be convicted (§6.4 analysis).
-	acc := c.Servers[h]
-	k := accused.DHKey.Mul(acc.msk)
-	keyProof := nizk.ProveDleq(blameContext(round, c.ID, h, j, "accuse"), accused.DHKey, acc.bpkPrev, acc.msk)
-	if err := nizk.VerifyDleq(blameContext(round, c.ID, h, j, "accuse"),
-		accused.DHKey, k, acc.bpkPrev, acc.mpk, keyProof); err != nil {
+	ar, err := c.hops[h].Accuse(round, j, accused.DHKey)
+	if err != nil {
 		return blameVerdict{Servers: []int{h}}
 	}
-	if _, err := onion.OpenWithRevealedKey(c.scheme, k, nonce, accused.Ct); err == nil {
+	if err := nizk.VerifyDleq(blameContext(round, c.ID, h, j, "accuse"),
+		accused.DHKey, ar.K, c.keys[h].BpkPrev, c.keys[h].Mpk, ar.Proof); err != nil {
+		return blameVerdict{Servers: []int{h}}
+	}
+	if _, err := onion.OpenWithRevealedKey(c.scheme, ar.K, nonce, accused.Ct); err == nil {
 		return blameVerdict{Servers: []int{h}}
 	}
 	// The full chain verified and the ciphertext indeed fails: the

@@ -14,16 +14,31 @@ import (
 
 func newDigest() hash.Hash { return sha256.New() }
 
-// Chain is one anytrust mix chain of k servers (§5.2). It exposes the
-// public key material users need and executes rounds, simulating the
-// mutual proof verification every member performs. One honest member
-// suffices for the guarantees; the Chain verifies everything, which
-// is exactly what the honest server would do.
+// Chain is one anytrust mix chain of k positions (§5.2). It exposes
+// the public key material users need and executes rounds, simulating
+// the mutual proof verification every member performs. One honest
+// member suffices for the guarantees; the Chain verifies everything,
+// which is exactly what the honest server would do.
+//
+// Each position is reached through a Hop: in-process by default, or a
+// separate xrd-server process over the TLS hop transport. The Chain
+// keeps its own record of every batch it sent to and received from a
+// position, so all verification (shuffle certificates, blame replays,
+// re-certification) runs against data the orchestrator observed — a
+// remote position can lie only about what it alone knows, and every
+// such lie is caught by a proof check and converted into blame.
 type Chain struct {
 	// ID is the chain index within the network.
 	ID int
-	// Servers are the members in mixing order.
+	// Servers are the in-process members in mixing order; a position
+	// hosted remotely has a nil entry. Fault injection (Corruption)
+	// and baseline mode need the in-process server.
 	Servers []*Server
+
+	// hops are the transport handles, one per position.
+	hops []Hop
+	// keys caches every position's verified public key material.
+	keys []HopKeys
 
 	scheme aead.Scheme
 
@@ -39,6 +54,15 @@ type Chain struct {
 	// the map holds at most the current and next round and a
 	// long-running server does not accumulate one entry per round.
 	innerAggs map[uint64]group.Point
+	// innerKeys maps round -> the proof-verified ipk_i of every
+	// position, recorded at announce time. The reveal check compares
+	// g^isk against THIS record, never against what the position
+	// currently claims its inner key is: a byzantine hop could
+	// otherwise substitute a consistent fake (ipk', isk') at reveal
+	// and silently corrupt the inner sum (every message would then be
+	// dropped as "malformed by its sender", with nobody blamed).
+	// Pruned in lockstep with innerAggs.
+	innerKeys map[uint64][]group.Point
 }
 
 // Params is the public key material users need to submit to a chain.
@@ -57,29 +81,76 @@ type Params struct {
 	Round uint64
 }
 
-// NewChain creates a chain of k freshly keyed servers and verifies
-// every member's key-knowledge proofs.
+// NewChain creates a chain of k freshly keyed in-process servers and
+// verifies every member's key-knowledge proofs.
 func NewChain(id, k int, scheme aead.Scheme) (*Chain, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("mix: chain needs at least one server, got %d", k)
 	}
-	c := &Chain{ID: id, scheme: scheme}
+	if scheme == nil {
+		scheme = aead.ChaCha20Poly1305()
+	}
+	hops := make([]Hop, k)
 	base := group.Generator()
 	for i := 0; i < k; i++ {
-		s := newServer(id, i, base, scheme)
-		if err := s.VerifyKeys(); err != nil {
+		s := NewChainServer(id, i, base, scheme)
+		hops[i] = LocalHop(s)
+		base = s.bpk
+	}
+	return NewChainFromHops(id, hops, scheme)
+}
+
+// NewChainFromHops assembles a chain over pre-built hops — local
+// servers, remote processes, or a mixture — verifying every
+// position's key-knowledge proofs and that each position's keys chain
+// off the previous position's blinding key (§6.1).
+func NewChainFromHops(id int, hops []Hop, scheme aead.Scheme) (*Chain, error) {
+	if len(hops) < 1 {
+		return nil, fmt.Errorf("mix: chain needs at least one server, got %d", len(hops))
+	}
+	if scheme == nil {
+		scheme = aead.ChaCha20Poly1305()
+	}
+	c := &Chain{ID: id, scheme: scheme}
+	base := group.Generator()
+	for i, h := range hops {
+		k := h.Keys()
+		if k.Chain != id || k.Index != i {
+			return nil, fmt.Errorf("mix: hop at position %d of chain %d published keys for chain %d position %d",
+				i, id, k.Chain, k.Index)
+		}
+		if !k.BpkPrev.Equal(base) {
+			return nil, fmt.Errorf("mix: chain %d: position %d's keys are not chained off position %d's blinding key", id, i, i-1)
+		}
+		if err := VerifyHopKeys(k); err != nil {
 			return nil, err
 		}
-		c.Servers = append(c.Servers, s)
-		base = s.bpk
+		c.hops = append(c.hops, h)
+		c.keys = append(c.keys, k)
+		if lh, ok := h.(localHop); ok {
+			c.Servers = append(c.Servers, lh.s)
+		} else {
+			c.Servers = append(c.Servers, nil)
+		}
+		base = k.Bpk
 	}
 	return c, nil
 }
 
-// Len returns k, the number of servers in the chain.
-func (c *Chain) Len() int { return len(c.Servers) }
+// Len returns k, the number of positions in the chain.
+func (c *Chain) Len() int { return len(c.hops) }
 
-// BeginRound ensures every server has an inner key for the round,
+// Remote reports whether any position is hosted outside this process.
+func (c *Chain) Remote() bool {
+	for _, s := range c.Servers {
+		if s == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// BeginRound ensures every position has an inner key for the round,
 // verifies the inner-key proofs, and publishes the aggregate inner
 // key. It is idempotent per round; the coordinator announces round
 // ρ+1 during round ρ so users can build covers.
@@ -88,6 +159,7 @@ func (c *Chain) BeginRound(round uint64) error {
 	defer c.keyMu.Unlock()
 	if c.innerAggs == nil {
 		c.innerAggs = make(map[uint64]group.Point)
+		c.innerKeys = make(map[uint64][]group.Point)
 	}
 	if _, ok := c.innerAggs[round]; ok {
 		if round > c.lastBegun {
@@ -96,17 +168,23 @@ func (c *Chain) BeginRound(round uint64) error {
 		return nil
 	}
 	agg := group.Identity()
-	for _, s := range c.Servers {
-		ipk, proof := s.BeginRound(round)
-		if err := nizk.VerifyDlog(innerKeyContext(c.ID, s.Index, round), group.Generator(), ipk, proof); err != nil {
-			return fmt.Errorf("mix: chain %d: inner key proof of server %d: %w", c.ID, s.Index, err)
+	ipks := make([]group.Point, len(c.hops))
+	for i, h := range c.hops {
+		ipk, proof, err := h.BeginRound(round)
+		if err != nil {
+			return fmt.Errorf("mix: chain %d: inner key of server %d: %w", c.ID, i, err)
 		}
+		if err := nizk.VerifyDlog(innerKeyContext(c.ID, i, round), group.Generator(), ipk, proof); err != nil {
+			return fmt.Errorf("mix: chain %d: inner key proof of server %d: %w", c.ID, i, err)
+		}
+		ipks[i] = ipk
 		agg = agg.Add(ipk)
 	}
 	if round > c.lastBegun {
 		c.lastBegun = round
 	}
 	c.innerAggs[round] = agg
+	c.innerKeys[round] = ipks
 	// Drop aggregates no round can use any more: the coordinator
 	// announces ρ+1 while ρ runs, so snapshotParams needs lastBegun−1
 	// and lastBegun but nothing older. Without this the map grows by
@@ -114,6 +192,7 @@ func (c *Chain) BeginRound(round uint64) error {
 	for r := range c.innerAggs {
 		if r+1 < c.lastBegun {
 			delete(c.innerAggs, r)
+			delete(c.innerKeys, r)
 		}
 	}
 	return nil
@@ -129,10 +208,10 @@ func (c *Chain) ParamsFor(round uint64) (Params, error) {
 		return Params{}, fmt.Errorf("mix: chain %d has not begun round %d", c.ID, round)
 	}
 	p := Params{ChainID: c.ID, InnerAggregate: agg, Round: round}
-	for _, s := range c.Servers {
-		p.MixKeys = append(p.MixKeys, s.mpk)
-		p.BlindKeys = append(p.BlindKeys, s.bpk)
-		p.BaselineKeys = append(p.BaselineKeys, s.baselineKey.Public)
+	for _, k := range c.keys {
+		p.MixKeys = append(p.MixKeys, k.Mpk)
+		p.BlindKeys = append(p.BlindKeys, k.Bpk)
+		p.BaselineKeys = append(p.BaselineKeys, k.BaselinePub)
 	}
 	return p, nil
 }
@@ -193,14 +272,29 @@ type roundState struct {
 	subs map[int]onion.Submission
 }
 
+// posRecord is the orchestrator's record of one position's traffic:
+// the batch it sent in, the batch it got back, the disclosed
+// permutation, and where each input sat in the previous position's
+// output. Every verification — shuffle certificates, blame replays,
+// re-certification after removals — reads these records, never the
+// position's own claims, which is what lets a position live on an
+// untrusted remote process.
+type posRecord struct {
+	in      []onion.Envelope
+	out     []onion.Envelope
+	out2in  []int
+	inSlots []int
+}
+
 // RunRound executes one full AHS round (§6.3) over the submissions:
 // submission proof checks, input agreement, k mixing steps each
 // verified by all members, blame on decryption failures (§6.4), inner
 // key reveal and inner decryption.
 //
 // The returned error indicates an orchestration failure (wrong round,
-// internal corruption); protocol misbehaviour is reported in
-// RoundResult instead.
+// internal corruption); protocol misbehaviour — including a remote
+// hop that dies, stalls past its transport deadline, or returns
+// garbage — is reported in RoundResult instead.
 func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*RoundResult, error) {
 	c.keyMu.RLock()
 	_, ok := c.innerAggs[round]
@@ -234,13 +328,14 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 
 	// Input agreement (§6.3): all servers hash the accepted input set
 	// and compare. In-process every server sees the same slice; the
-	// digest is recomputed per server to mirror the distributed check.
+	// digest is recomputed per position to mirror the distributed
+	// check.
 	accepted := make([]onion.Submission, len(st.envs))
 	for j := range st.envs {
 		accepted[j] = st.subs[st.origin[j]]
 	}
 	want := InputDigest(round, c.ID, accepted)
-	for range c.Servers {
+	for range c.hops {
 		if InputDigest(round, c.ID, accepted) != want {
 			return nil, fmt.Errorf("mix: chain %d: input agreement failed", c.ID)
 		}
@@ -253,19 +348,37 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 		return res, nil
 	}
 
-	// Mixing steps.
+	// Mixing steps. states holds the orchestrator's per-position
+	// traffic records for this round's blame and re-certification.
+	states := make([]posRecord, len(c.hops))
 	i := 0
-	epochs := make([]int, len(c.Servers))
-	for i < len(c.Servers) {
-		s := c.Servers[i]
+	epochs := make([]int, len(c.hops))
+	for i < len(c.hops) {
+		h := c.hops[i]
+		hk := c.keys[i]
 		st.slot = identitySlots(len(st.envs), st.slot, st.slot == nil)
-		mr, err := s.Mix(round, nonce, st.envs)
+		states[i].in = st.envs
+		states[i].inSlots = append([]int(nil), st.slot...)
+		mr, err := h.Mix(round, nonce, st.envs)
 		if err != nil {
-			return nil, err
+			// The hop transport failed: the position is unreachable,
+			// timed out or sent garbage. The chain cannot distinguish
+			// a crashed member from a cheating one, so it halts with
+			// nothing revealed, exactly like a failed proof (§6.3).
+			res.Halted = true
+			res.BlamedServers = append(res.BlamedServers, i)
+			return res, nil
 		}
 		if len(mr.Failed) > 0 {
+			if !validFailedIndices(mr.Failed, len(st.envs)) {
+				// Accusations against positions that do not exist:
+				// only a byzantine hop produces these.
+				res.Halted = true
+				res.BlamedServers = append(res.BlamedServers, i)
+				return res, nil
+			}
 			res.BlameRounds++
-			verdict := c.runBlame(round, nonce, i, mr.Failed, st)
+			verdict := c.runBlame(round, nonce, i, mr.Failed, st, states)
 			res.BlamedServers = append(res.BlamedServers, verdict.Servers...)
 			res.BlamedUsers = append(res.BlamedUsers, verdict.Users...)
 			if len(verdict.Servers) > 0 {
@@ -289,13 +402,13 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 				return res, nil
 			}
 			if i > 0 {
-				keepFull := make([]bool, len(c.Servers[i-1].lastOut))
+				keepFull := make([]bool, len(states[i-1].out))
 				for j := range st.envs {
 					if !removed[j] {
 						keepFull[st.slot[j]] = true
 					}
 				}
-				if err := c.reCertifyUpstream(round, i, keepFull, epochs); err != nil {
+				if err := c.reCertifyUpstream(round, i, keepFull, epochs, states); err != nil {
 					res.Halted = true
 					res.BlamedServers = append(res.BlamedServers, i-1)
 					return res, nil
@@ -306,33 +419,46 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 		}
 		// Every member verifies the shuffle certificate; the chain
 		// halts on failure (the honest server refuses to continue).
-		if err := VerifyMix(round, c.ID, s.Index, epochs[i], s.bpkPrev, s.bpk, st.envs, mr.Out, mr.Proof); err != nil {
+		if err := VerifyMix(round, c.ID, i, epochs[i], hk.BpkPrev, hk.Bpk, st.envs, mr.Out, mr.Proof); err != nil {
 			res.Halted = true
 			res.BlamedServers = append(res.BlamedServers, i)
 			return res, nil
 		}
-		// Record how this server's input positions map back to the
-		// previous server's output positions (non-identity only after
-		// blame removals), then advance: outputs become the next
-		// server's inputs and origins follow the permutation the
-		// server privately applied.
-		s.lastInSlots = append([]int(nil), st.slot...)
+		// The disclosed permutation must actually be one before the
+		// orchestrator indexes with it — a remote position's word is
+		// not trusted for memory safety.
+		if !isPermutation(mr.Out2In, len(st.envs)) {
+			res.Halted = true
+			res.BlamedServers = append(res.BlamedServers, i)
+			return res, nil
+		}
+		// Record the position's output and lineage, then advance:
+		// outputs become the next position's inputs and origins
+		// follow the permutation the server privately applied.
+		states[i].out = mr.Out
+		states[i].out2in = mr.Out2In
 		newOrigin := make([]int, len(st.origin))
-		for p, j := range s.lastOut2In {
+		for p, j := range mr.Out2In {
 			newOrigin[p] = st.origin[j]
 		}
 		st.envs, st.origin, st.slot = mr.Out, newOrigin, nil
 		i++
 	}
 
-	// Reveal inner keys (§6.3) and decrypt the inner envelopes.
+	// Reveal inner keys (§6.3) and decrypt the inner envelopes. Each
+	// revealed secret is checked against the ipk that was
+	// proof-verified at announce time — the key users actually
+	// encrypted against — not against anything the position claims
+	// now.
+	c.keyMu.RLock()
+	announced := c.innerKeys[round]
+	c.keyMu.RUnlock()
 	innerSum := group.NewScalar(0)
-	for _, s := range c.Servers {
-		ipk, ok := s.InnerPublicKey(round)
-		isk, err := s.RevealInnerKey(round)
-		if !ok || err != nil || !group.Base(isk).Equal(ipk) {
+	for i, h := range c.hops {
+		isk, err := h.RevealInnerKey(round)
+		if err != nil || !group.Base(isk).Equal(announced[i]) {
 			res.Halted = true
-			res.BlamedServers = append(res.BlamedServers, s.Index)
+			res.BlamedServers = append(res.BlamedServers, i)
 			return res, nil
 		}
 		innerSum = innerSum.Add(isk)
@@ -377,49 +503,49 @@ func (st *roundState) filter(removed map[int]bool) {
 	st.envs, st.origin, st.slot = envs, origin, slot
 }
 
-// reCertifyUpstream makes servers 0..upto-1 re-issue their shuffle
+// reCertifyUpstream makes positions 0..upto-1 re-issue their shuffle
 // certificates over the surviving messages after blame removal, and
 // verifies them against the reduced key products. keepFull is indexed
-// by server upto-1's output positions; walking upstream, positions
+// by position upto-1's output positions; walking upstream, positions
 // are translated through each server's permutation and its input
 // slot map (non-identity only if it re-mixed a reduced set).
-func (c *Chain) reCertifyUpstream(round uint64, upto int, keepFull []bool, epochs []int) error {
+func (c *Chain) reCertifyUpstream(round uint64, upto int, keepFull []bool, epochs []int, states []posRecord) error {
 	keepAt := keepFull
 	for i := upto - 1; i >= 0; i-- {
-		s := c.Servers[i]
-		inKeep := make([]bool, len(s.lastIn))
+		rec := &states[i]
+		inKeep := make([]bool, len(rec.in))
 		for p, k := range keepAt {
 			if k {
-				inKeep[s.lastOut2In[p]] = true
+				inKeep[rec.out2in[p]] = true
 			}
 		}
 		epochs[i]++
-		proof, err := s.ReProveSubset(round, epochs[i], inKeep)
+		proof, err := c.hops[i].ReProveSubset(round, epochs[i], inKeep)
 		if err != nil {
-			return err
+			return fmt.Errorf("mix: server %d re-certification: %w", i, err)
 		}
 		var keptIn, keptOut []onion.Envelope
 		for j, k := range inKeep {
 			if k {
-				keptIn = append(keptIn, s.lastIn[j])
+				keptIn = append(keptIn, rec.in[j])
 			}
 		}
 		for p, k := range keepAt {
 			if k {
-				keptOut = append(keptOut, s.lastOut[p])
+				keptOut = append(keptOut, rec.out[p])
 			}
 		}
-		if err := nizk.VerifyDleq(mixContext(round, c.ID, s.Index, epochs[i]),
-			productOfKeys(keptIn), productOfKeys(keptOut), s.bpkPrev, s.bpk, proof); err != nil {
-			return fmt.Errorf("mix: server %d re-certification: %w", s.Index, err)
+		if err := nizk.VerifyDleq(mixContext(round, c.ID, i, epochs[i]),
+			productOfKeys(keptIn), productOfKeys(keptOut), c.keys[i].BpkPrev, c.keys[i].Bpk, proof); err != nil {
+			return fmt.Errorf("mix: server %d re-certification: %w", i, err)
 		}
 		if i == 0 {
 			break
 		}
-		prevKeep := make([]bool, len(c.Servers[i-1].lastOut))
+		prevKeep := make([]bool, len(states[i-1].out))
 		for j, k := range inKeep {
 			if k {
-				prevKeep[s.lastInSlots[j]] = true
+				prevKeep[rec.inSlots[j]] = true
 			}
 		}
 		keepAt = prevKeep

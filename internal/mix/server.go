@@ -56,15 +56,13 @@ type Server struct {
 	// lastKeyRound is the highest round BeginRound has seen.
 	lastKeyRound uint64
 
-	// Round state retained for the blame protocol: this server's
-	// inputs, outputs and permutation from the last Mix call, plus
-	// the mapping from its input positions to the previous server's
-	// output positions (identity unless blame removed messages before
-	// this server re-mixed a reduced set).
-	lastIn      []onion.Envelope
-	lastOut     []onion.Envelope
-	lastOut2In  []int
-	lastInSlots []int
+	// lastIn is the input batch of the last Mix call, retained for
+	// the blame protocol's reveals and for re-certification after
+	// blame removals. The outputs and the permutation are returned to
+	// the orchestrator in MixResult; each verifier keeps its own
+	// record of those (Chain does, per position), so the server holds
+	// only what it alone can produce.
+	lastIn []onion.Envelope
 
 	// Corruption, when non-nil, makes the server misbehave; see
 	// corrupt.go.
@@ -81,10 +79,16 @@ func innerKeyContext(chain, index int, round uint64) string {
 	return fmt.Sprintf("xrd/innerkey/chain=%d/server=%d/round=%d", chain, index, round)
 }
 
-// newServer generates the long-term keys for position index, chaining
-// off base (= bpk_{i-1}), and proves knowledge of both secrets as
-// §6.1 requires.
-func newServer(chain, index int, base group.Point, scheme aead.Scheme) *Server {
+// NewChainServer generates a standalone mix server for position index
+// of a chain, with long-term keys chained off base (= bpk_{i-1}, or g
+// for the first position) and knowledge proofs as §6.1 requires. It
+// is how a remote xrd-server process instantiates the one position it
+// hosts; in-process chains call it through NewChain. A nil scheme
+// selects ChaCha20-Poly1305.
+func NewChainServer(chain, index int, base group.Point, scheme aead.Scheme) *Server {
+	if scheme == nil {
+		scheme = aead.ChaCha20Poly1305()
+	}
 	s := &Server{Chain: chain, Index: index, scheme: scheme, bpkPrev: base}
 	s.bsk = group.MustRandomScalar()
 	s.msk = group.MustRandomScalar()
@@ -96,16 +100,26 @@ func newServer(chain, index int, base group.Point, scheme aead.Scheme) *Server {
 	return s
 }
 
+// Keys returns the server's published key material: what it would
+// put in the PKI for other chain members (and the orchestrator) to
+// verify and chain off.
+func (s *Server) Keys() HopKeys {
+	return HopKeys{
+		Chain:       s.Chain,
+		Index:       s.Index,
+		BpkPrev:     s.bpkPrev,
+		Bpk:         s.bpk,
+		Mpk:         s.mpk,
+		BaselinePub: s.baselineKey.Public,
+		BskProof:    s.bskProof,
+		MskProof:    s.mskProof,
+	}
+}
+
 // VerifyKeys checks the server's key-knowledge proofs against its
 // published public keys, as every other chain member does at setup.
 func (s *Server) VerifyKeys() error {
-	if err := nizk.VerifyDlog(keyGenContext(s.Chain, s.Index, "bsk"), s.bpkPrev, s.bpk, s.bskProof); err != nil {
-		return fmt.Errorf("mix: server %d blinding key proof: %w", s.Index, err)
-	}
-	if err := nizk.VerifyDlog(keyGenContext(s.Chain, s.Index, "msk"), s.bpkPrev, s.mpk, s.mskProof); err != nil {
-		return fmt.Errorf("mix: server %d mixing key proof: %w", s.Index, err)
-	}
-	return nil
+	return VerifyHopKeys(s.Keys())
 }
 
 // BeginRound generates the per-round inner key pair for the given
@@ -173,12 +187,18 @@ func mixContext(round uint64, chain, index, epoch int) string {
 }
 
 // MixResult is a server's output for one mixing step (§6.3): the
-// blinded, shuffled envelopes, the shuffle certificate, and the
-// indices (into its input) whose authenticated decryption failed.
+// blinded, shuffled envelopes, the shuffle certificate, the
+// indices (into its input) whose authenticated decryption failed, and
+// the output-to-input permutation. The permutation is disclosed to
+// the orchestrator for lineage attribution and blame tracing — the
+// same information the blame protocol would reveal per message (see
+// roundState.origin); an honest deployment's privacy rests on the
+// honest member's permutation staying inside that member.
 type MixResult struct {
 	Out    []onion.Envelope
 	Proof  nizk.Proof
 	Failed []int
+	Out2In []int
 }
 
 // Mix performs §6.3 steps 1-3: decrypt every envelope, blind every
@@ -245,9 +265,36 @@ func (s *Server) Mix(round uint64, nonce [aead.NonceSize]byte, in []onion.Envelo
 		proof.S = proof.S.Add(group.NewScalar(1))
 	}
 
-	s.lastOut = cloneEnvelopes(out)
-	s.lastOut2In = out2in
-	return &MixResult{Out: out, Proof: proof}, nil
+	return &MixResult{Out: out, Proof: proof, Out2In: out2in}, nil
+}
+
+// BlameRevealAt produces the server's blame disclosure for the
+// message at input position pos of its last Mix call; msg names the
+// accused working index and only binds the proof contexts. The bounds
+// check matters for the remote transport: a confused or hostile
+// orchestrator must get an error, never a panic.
+func (s *Server) BlameRevealAt(round uint64, msg, pos int) (BlameReveal, error) {
+	if pos < 0 || pos >= len(s.lastIn) {
+		return BlameReveal{}, fmt.Errorf("mix: server %d has no input position %d", s.Index, pos)
+	}
+	xin := s.lastIn[pos].DHKey
+	return BlameReveal{
+		Xin:        xin,
+		BlindProof: nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "blind"), xin, s.bpkPrev, s.bsk),
+		K:          xin.Mul(s.msk),
+		KeyProof:   nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "key"), xin, s.bpkPrev, s.msk),
+	}, nil
+}
+
+// Accuse is blame step 4: the accusing server reveals its exchanged
+// key for the accused message's Diffie-Hellman key, with proof it
+// matches the published mixing key, so everyone can check the
+// decryption really fails.
+func (s *Server) Accuse(round uint64, msg int, key group.Point) AccuseReveal {
+	return AccuseReveal{
+		K:     key.Mul(s.msk),
+		Proof: nizk.ProveDleq(blameContext(round, s.Chain, s.Index, msg, "accuse"), key, s.bpkPrev, s.msk),
+	}
 }
 
 // VerifyMix is the check every other server runs on a peer's shuffle

@@ -6,17 +6,38 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/mix"
 )
 
+// DefaultCallTimeout bounds one Client request/response exchange.
+// Round triggering waits for the whole round to execute, so the
+// default is generous; tune Client.Timeout for very large
+// deployments or very tight tests.
+const DefaultCallTimeout = 3 * time.Minute
+
 // Client is a remote user's connection to an XRD gateway. It
 // implements client.ParamsSource, so a client.User can build rounds
 // against a remote deployment exactly as against an in-process one.
+//
+// The connection heals itself: a transport-level failure (timeout,
+// gateway shedding an idle connection, network blip) poisons the
+// current connection — its framing state is unknown, and reusing it
+// would pair the next request with a stale response — and the next
+// call dials a fresh one.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	// Timeout bounds one call's write-request/read-response exchange;
+	// zero disables the deadline. Defaults to DefaultCallTimeout.
+	Timeout time.Duration
+
+	addr   string
+	tlsCfg *tls.Config
+
+	mu     sync.Mutex
+	closed bool
+	conn   net.Conn // nil after a transport failure; redialed on use
 	// paramsCache avoids refetching identical (chain, round) params
 	// during one BuildRound (2ℓ lookups).
 	paramsCache map[[2]uint64]mix.Params
@@ -31,14 +52,32 @@ func Dial(addr string, tlsCfg *tls.Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dialing %s: %w", addr, err)
 	}
-	return &Client{conn: conn, paramsCache: make(map[[2]uint64]mix.Params)}, nil
+	return &Client{
+		Timeout:     DefaultCallTimeout,
+		addr:        addr,
+		tlsCfg:      tlsCfg,
+		conn:        conn,
+		paramsCache: make(map[[2]uint64]mix.Params),
+	}, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; subsequent calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // call performs one request/response exchange; the protocol is
-// strictly alternating per connection.
+// strictly alternating per connection. The configured Timeout covers
+// the whole exchange so a stalled or dead gateway surfaces as an
+// error instead of wedging the caller forever.
 func (c *Client) call(method string, reqBody any, respBody any) error {
 	b, err := encode(reqBody)
 	if err != nil {
@@ -50,16 +89,42 @@ func (c *Client) call(method string, reqBody any, respBody any) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("rpc: client closed")
+	}
+	if c.conn == nil {
+		conn, err := tls.Dial("tcp", c.addr, c.tlsCfg)
+		if err != nil {
+			return fmt.Errorf("rpc: redialing %s: %w", c.addr, err)
+		}
+		c.conn = conn
+	}
+	// poison drops the connection after a transport failure: a late
+	// response arriving on it would otherwise be read as the answer
+	// to the next request.
+	poison := func() {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
 	if err := WriteFrame(c.conn, req); err != nil {
+		poison()
 		return fmt.Errorf("rpc: sending %s: %w", method, err)
 	}
 	frame, err := ReadFrame(c.conn)
 	if err != nil {
+		poison()
 		return fmt.Errorf("rpc: reading %s response: %w", method, err)
 	}
 	var resp response
 	if err := decode(frame, &resp); err != nil {
+		poison()
 		return err
+	}
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
 	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)

@@ -1,0 +1,250 @@
+package rpc
+
+import (
+	"testing"
+
+	"repro/internal/aead"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/mix"
+	"repro/internal/onion"
+)
+
+// startHopFleet launches k hop endpoints on loopback TLS sockets —
+// the in-test equivalent of k `xrd-server -role mix` processes.
+func startHopFleet(t testing.TB, k int) []*HopServer {
+	t.Helper()
+	fleet := make([]*HopServer, k)
+	for i := range fleet {
+		hs, err := NewHopServer("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs.Logf = func(string, ...any) {}
+		t.Cleanup(func() { hs.Close() })
+		fleet[i] = hs
+	}
+	return fleet
+}
+
+// distributedNetwork assembles a deployment whose single chain of k
+// positions is hosted entirely on the fleet, wired through the TLS
+// hop transport.
+func distributedNetwork(t testing.TB, fleet []*HopServer) *core.Network {
+	t.Helper()
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          len(fleet),
+		NumChains:           1,
+		ChainLengthOverride: len(fleet),
+		Seed:                []byte("distributed-test"),
+		RemoteHops: func(chain, pos int, base group.Point) (mix.Hop, error) {
+			hc := DialHop(fleet[pos].Addr(), fleet[pos].ClientTLS())
+			if _, err := hc.Init(chain, pos, base); err != nil {
+				return nil, err
+			}
+			return hc, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// localTwin is the same deployment shape with every position
+// in-process: the reference the distributed transport must match.
+func localTwin(t testing.TB, k int) *core.Network {
+	t.Helper()
+	n, err := core.NewNetwork(core.Config{
+		NumServers:          k,
+		NumChains:           1,
+		ChainLengthOverride: k,
+		Seed:                []byte("distributed-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// converse registers two users in conversation, with a message from
+// alice queued each round by the caller.
+func converse(t testing.TB, n *core.Network) (alice, bob *coreUser) {
+	t.Helper()
+	a, b := n.NewUser(), n.NewUser()
+	if err := a.StartConversation(b.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartConversation(a.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	return &coreUser{n: n, u: a}, &coreUser{n: n, u: b}
+}
+
+// TestDistributedChainParity pins the acceptance criterion: a chain
+// spanning three separate hop endpoints over TLS completes rounds
+// with delivery output identical to the in-process transport.
+func TestDistributedChainParity(t *testing.T) {
+	fleet := startHopFleet(t, 3)
+	dist := distributedNetwork(t, fleet)
+	local := localTwin(t, 3)
+
+	da, db := converse(t, dist)
+	la, lb := converse(t, local)
+
+	for round := 1; round <= 2; round++ {
+		text := []byte{'r', byte('0' + round)}
+		for _, a := range []*coreUser{da, la} {
+			if err := a.u.QueueMessage(text); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dRep, err := dist.RunRound()
+		if err != nil {
+			t.Fatalf("distributed round %d: %v", round, err)
+		}
+		lRep, err := local.RunRound()
+		if err != nil {
+			t.Fatalf("local round %d: %v", round, err)
+		}
+		if len(dRep.HaltedChains) != 0 || len(dRep.BlamedUsers) != 0 {
+			t.Fatalf("distributed round %d misbehaved: %+v", round, dRep)
+		}
+		if dRep.Delivered != lRep.Delivered {
+			t.Fatalf("round %d delivered %d over TLS, %d in-process", round, dRep.Delivered, lRep.Delivered)
+		}
+		if got := db.read(t, dRep.Round); string(got) != string(text) {
+			t.Fatalf("round %d: bob read %q over the distributed chain, want %q", round, got, text)
+		}
+		if got := lb.read(t, lRep.Round); string(got) != string(text) {
+			t.Fatalf("round %d: bob read %q in-process, want %q", round, got, text)
+		}
+	}
+}
+
+// TestDistributedBlameOverTransport runs the blame protocol across
+// the hop transport: a malicious submission that fails decryption at
+// position 1 forces blame reveals from position 0, re-certification
+// of the surviving subset, and a restaged retry — all over TLS —
+// while honest traffic still delivers.
+func TestDistributedBlameOverTransport(t *testing.T) {
+	fleet := startHopFleet(t, 3)
+	dist := distributedNetwork(t, fleet)
+	alice, bob := converse(t, dist)
+	if err := alice.u.QueueMessage([]byte("survives blame")); err != nil {
+		t.Fatal(err)
+	}
+
+	params, err := dist.ChainParams(0, dist.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := mix.MaliciousSubmission(aead.ChaCha20Poly1305(), params, dist.Round(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.InjectSubmission(0, bad)
+
+	rep, err := dist.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.HaltedChains) != 0 {
+		t.Fatalf("honest chain halted: %+v", rep)
+	}
+	if rep.BlameRounds == 0 {
+		t.Fatal("blame protocol did not run")
+	}
+	blamed := false
+	for _, who := range rep.BlamedUsers {
+		if who == "injected:0" {
+			blamed = true
+		}
+	}
+	if !blamed {
+		t.Fatalf("malicious submitter not convicted: %+v", rep)
+	}
+	if got := bob.read(t, rep.Round); string(got) != "survives blame" {
+		t.Fatalf("honest message lost to blame round: %q", got)
+	}
+}
+
+// TestDistributedHopDeath kills one hop endpoint mid-deployment. The
+// round must absorb the loss — halt the chain, blame the position,
+// return a report — instead of wedging or crashing; announcing the
+// next round's keys fails, which the report-plus-error return
+// surfaces.
+func TestDistributedHopDeath(t *testing.T) {
+	fleet := startHopFleet(t, 3)
+	dist := distributedNetwork(t, fleet)
+	alice, _ := converse(t, dist)
+	if err := alice.u.QueueMessage([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+
+	fleet[1].Close()
+
+	rep, err := dist.RunRound()
+	if rep == nil {
+		t.Fatalf("no report after hop death (err=%v)", err)
+	}
+	if len(rep.HaltedChains) != 1 || rep.HaltedChains[0] != 0 {
+		t.Fatalf("chain not halted after hop death: %+v", rep)
+	}
+	if rep.Delivered != 0 {
+		t.Fatalf("halted chain delivered %d messages", rep.Delivered)
+	}
+	if err == nil {
+		t.Fatal("announcing through a dead hop succeeded")
+	}
+}
+
+// TestHopBatchChunking streams a batch larger than one chunk through
+// a live hop endpoint and back. The garbage ciphertexts make every
+// decryption fail, so the response also exercises a full-size Failed
+// list; a second Mix call proves staging restarts cleanly at seq 0.
+func TestHopBatchChunking(t *testing.T) {
+	fleet := startHopFleet(t, 1)
+	hc := DialHop(fleet[0].Addr(), fleet[0].ClientTLS())
+	defer hc.Close()
+	if _, err := hc.Init(0, 0, group.Generator()); err != nil {
+		t.Fatal(err)
+	}
+
+	n := MaxHopChunkEnvelopes + 17
+	envs := make([]onion.Envelope, n)
+	for i := range envs {
+		envs[i] = onion.Envelope{DHKey: group.Base(group.MustRandomScalar()), Ct: []byte("not an onion")}
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		mr, err := hc.Mix(1, [12]byte{}, envs)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if len(mr.Failed) != n {
+			t.Fatalf("attempt %d: %d of %d garbage envelopes failed", attempt, len(mr.Failed), n)
+		}
+	}
+}
+
+// coreUser wraps a registered user with mailbox reading.
+type coreUser struct {
+	n *core.Network
+	u *client.User
+}
+
+func (c *coreUser) read(t testing.TB, round uint64) []byte {
+	t.Helper()
+	msgs := c.n.FetchMailbox(round, c.u.Mailbox())
+	recv, bad := c.u.OpenMailbox(round, msgs)
+	if bad != 0 {
+		t.Fatalf("%d undecryptable messages", bad)
+	}
+	for _, r := range recv {
+		if r.FromPartner && r.Kind == onion.KindConversation {
+			return r.Body
+		}
+	}
+	return nil
+}

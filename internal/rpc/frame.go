@@ -2,11 +2,15 @@
 // length-prefixed binary frames over TCP with TLS, standing in for
 // the prototype's streaming gRPC over TLS (§7).
 //
-// The exposed service is the user-facing surface of an XRD
-// deployment: fetch chain parameters, submit a round's messages and
-// covers, download a mailbox, and (for the round driver) trigger
-// round execution. Server-to-server mixing traffic runs in-process
-// inside core.Network; DESIGN.md documents this substitution.
+// Two services share the framing. The user-facing surface of an XRD
+// deployment (Server/Client): fetch chain parameters, submit a
+// round's messages and covers, download a mailbox, and (for the
+// round driver) trigger round execution. And the server↔server hop
+// transport (HopServer/HopClient): the gateway driving one remote
+// mix position through a chain's round — batch streaming in bounded
+// chunks, shuffle certification, blame reveals — so a chain can span
+// separate processes and machines; DESIGN.md documents the
+// deployment shape and what stays in-process.
 package rpc
 
 import (

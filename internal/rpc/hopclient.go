@@ -1,0 +1,365 @@
+package rpc
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/mix"
+	"repro/internal/nizk"
+	"repro/internal/onion"
+)
+
+// Hop transport client defaults. One exchange is bounded by
+// DefaultHopCallTimeout; hop.mix waits for the remote to mix the
+// whole batch, so it gets its own, much larger bound.
+const (
+	DefaultHopCallTimeout = time.Minute
+	DefaultHopMixTimeout  = 10 * time.Minute
+	// maxIdleHopConns bounds the pool; connections beyond it are
+	// closed on release rather than cached.
+	maxIdleHopConns = 4
+	// maxConnIdle is how long a pooled connection may sit unused
+	// before the pool discards it instead of handing it out. It must
+	// stay safely below the server side's DefaultIdleTimeout:
+	// otherwise the pool would return connections the hop endpoint
+	// has already shed, the call would fail spuriously, and the
+	// chain would blame a perfectly healthy position.
+	maxConnIdle = time.Minute
+)
+
+// HopClient is the gateway's handle on one remote mix position: the
+// dialing half of the hop transport, implementing mix.Hop over pooled
+// TLS connections with per-call deadlines. Batches stream in bounded
+// chunks (MaxHopChunkEnvelopes per frame) and everything received is
+// re-parsed and validated before it reaches the chain orchestrator.
+//
+// Init must run once, before the chain is assembled, to bind the
+// remote process to its chain position and fetch its keys.
+type HopClient struct {
+	// CallTimeout bounds one ordinary request/response exchange;
+	// MixTimeout bounds the hop.mix exchange, which waits for the
+	// remote to mix the entire staged batch. Zero disables the
+	// respective deadline.
+	CallTimeout time.Duration
+	MixTimeout  time.Duration
+
+	pool *connPool
+
+	mu    sync.Mutex
+	ready bool
+	keys  mix.HopKeys
+}
+
+var _ mix.Hop = (*HopClient)(nil)
+
+// DialHop prepares a hop client for addr with the pinned TLS
+// configuration (the mix process's certificate, distributed
+// out-of-band like every server identity, §3.1). Connections are
+// opened lazily and pooled.
+func DialHop(addr string, tlsCfg *tls.Config) *HopClient {
+	return &HopClient{
+		CallTimeout: DefaultHopCallTimeout,
+		MixTimeout:  DefaultHopMixTimeout,
+		pool:        &connPool{addr: addr, tlsCfg: tlsCfg},
+	}
+}
+
+// Close releases all pooled connections.
+func (h *HopClient) Close() error { h.pool.close(); return nil }
+
+// Init binds the remote process to chain position (chain, index) with
+// key base `base` and fetches its published keys. Idempotent against
+// the same binding, so a restarted gateway can re-run setup.
+func (h *HopClient) Init(chain, index int, base group.Point) (mix.HopKeys, error) {
+	var w HopKeysResponse
+	if err := h.call("hop.init", HopInitRequest{Chain: chain, Index: index, Base: base.Bytes()}, &w, h.CallTimeout); err != nil {
+		return mix.HopKeys{}, err
+	}
+	if w.Chain != chain || w.Index != index {
+		return mix.HopKeys{}, fmt.Errorf("rpc: hop answered for chain %d position %d, asked for %d:%d", w.Chain, w.Index, chain, index)
+	}
+	keys, err := hopKeysFromWire(w, base)
+	if err != nil {
+		return mix.HopKeys{}, err
+	}
+	h.mu.Lock()
+	h.keys, h.ready = keys, true
+	h.mu.Unlock()
+	return keys, nil
+}
+
+// Keys returns the keys fetched by Init.
+func (h *HopClient) Keys() mix.HopKeys {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.ready {
+		panic("rpc: HopClient.Keys before Init")
+	}
+	return h.keys
+}
+
+// BeginRound implements mix.Hop.
+func (h *HopClient) BeginRound(round uint64) (group.Point, nizk.Proof, error) {
+	var resp HopBeginResponse
+	if err := h.call("hop.begin", HopBeginRequest{Round: round}, &resp, h.CallTimeout); err != nil {
+		return group.Point{}, nizk.Proof{}, err
+	}
+	ipk, err := group.ParsePoint(resp.Ipk)
+	if err != nil {
+		return group.Point{}, nizk.Proof{}, fmt.Errorf("rpc: inner key: %w", err)
+	}
+	proof, err := nizk.ParseProof(resp.Proof)
+	if err != nil {
+		return group.Point{}, nizk.Proof{}, fmt.Errorf("rpc: inner key proof: %w", err)
+	}
+	return ipk, proof, nil
+}
+
+// RevealInnerKey implements mix.Hop.
+func (h *HopClient) RevealInnerKey(round uint64) (group.Scalar, error) {
+	var resp HopRevealResponse
+	if err := h.call("hop.reveal", HopRevealRequest{Round: round}, &resp, h.CallTimeout); err != nil {
+		return group.Scalar{}, err
+	}
+	isk, err := group.ParseScalar(resp.Isk)
+	if err != nil {
+		return group.Scalar{}, fmt.Errorf("rpc: inner secret: %w", err)
+	}
+	return isk, nil
+}
+
+// Mix implements mix.Hop: stream the batch in chunks, trigger the
+// mixing step, pull the output back in chunks. The response is
+// validated structurally here (parses, sizes, index ranges); the
+// chain re-checks everything cryptographically.
+func (h *HopClient) Mix(round uint64, nonce [aead.NonceSize]byte, in []onion.Envelope) (*mix.MixResult, error) {
+	for seq, off := 0, 0; off < len(in); seq++ {
+		end := off + MaxHopChunkEnvelopes
+		if end > len(in) {
+			end = len(in)
+		}
+		var ack HopBatchResponse
+		req := HopBatchRequest{Round: round, Seq: seq, Envelopes: envelopesToWire(in[off:end])}
+		if err := h.call("hop.batch", req, &ack, h.CallTimeout); err != nil {
+			return nil, fmt.Errorf("rpc: streaming batch chunk %d: %w", seq, err)
+		}
+		off = end
+	}
+	var mr HopMixResponse
+	if err := h.call("hop.mix", HopMixRequest{Round: round, Nonce: nonce[:], Count: len(in)}, &mr, h.MixTimeout); err != nil {
+		return nil, err
+	}
+	if len(mr.Failed) > 0 {
+		return &mix.MixResult{Failed: mr.Failed}, nil
+	}
+	proof, err := nizk.ParseProof(mr.Proof)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: shuffle certificate: %w", err)
+	}
+	if mr.OutCount < 0 || mr.OutCount > len(in) {
+		return nil, fmt.Errorf("rpc: hop reports %d outputs for %d inputs", mr.OutCount, len(in))
+	}
+	out := make([]onion.Envelope, 0, mr.OutCount)
+	for seq := 0; len(out) < mr.OutCount; seq++ {
+		var pr HopPullResponse
+		if err := h.call("hop.pull", HopPullRequest{Round: round, Seq: seq}, &pr, h.CallTimeout); err != nil {
+			return nil, fmt.Errorf("rpc: pulling output chunk %d: %w", seq, err)
+		}
+		if len(pr.Envelopes) == 0 || len(pr.Envelopes) > MaxHopChunkEnvelopes {
+			return nil, fmt.Errorf("rpc: output chunk of %d envelopes outside (0, %d]", len(pr.Envelopes), MaxHopChunkEnvelopes)
+		}
+		envs, err := envelopesFromWire(pr.Envelopes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, envs...)
+		if pr.More != (len(out) < mr.OutCount) {
+			return nil, fmt.Errorf("rpc: hop's chunk continuation disagrees with its announced output count %d", mr.OutCount)
+		}
+	}
+	if len(out) != mr.OutCount {
+		return nil, fmt.Errorf("rpc: hop streamed %d outputs, announced %d", len(out), mr.OutCount)
+	}
+	return &mix.MixResult{Out: out, Proof: proof, Out2In: mr.Out2In}, nil
+}
+
+// ReProveSubset implements mix.Hop.
+func (h *HopClient) ReProveSubset(round uint64, epoch int, keep []bool) (nizk.Proof, error) {
+	req := HopCertifyRequest{Round: round, Epoch: epoch, N: len(keep), Keep: packBools(keep)}
+	var resp HopCertifyResponse
+	if err := h.call("hop.certify", req, &resp, h.CallTimeout); err != nil {
+		return nizk.Proof{}, err
+	}
+	proof, err := nizk.ParseProof(resp.Proof)
+	if err != nil {
+		return nizk.Proof{}, fmt.Errorf("rpc: re-certification proof: %w", err)
+	}
+	return proof, nil
+}
+
+// BlameReveal implements mix.Hop.
+func (h *HopClient) BlameReveal(round uint64, msg, pos int) (mix.BlameReveal, error) {
+	var resp HopBlameResponse
+	if err := h.call("hop.blame", HopBlameRequest{Round: round, Msg: msg, Pos: pos}, &resp, h.CallTimeout); err != nil {
+		return mix.BlameReveal{}, err
+	}
+	var rev mix.BlameReveal
+	var err error
+	if rev.Xin, err = group.ParsePoint(resp.Xin); err != nil {
+		return mix.BlameReveal{}, fmt.Errorf("rpc: blame Xin: %w", err)
+	}
+	if rev.BlindProof, err = nizk.ParseProof(resp.BlindProof); err != nil {
+		return mix.BlameReveal{}, fmt.Errorf("rpc: blame blind proof: %w", err)
+	}
+	if rev.K, err = group.ParsePoint(resp.K); err != nil {
+		return mix.BlameReveal{}, fmt.Errorf("rpc: blame key: %w", err)
+	}
+	if rev.KeyProof, err = nizk.ParseProof(resp.KeyProof); err != nil {
+		return mix.BlameReveal{}, fmt.Errorf("rpc: blame key proof: %w", err)
+	}
+	return rev, nil
+}
+
+// Accuse implements mix.Hop.
+func (h *HopClient) Accuse(round uint64, msg int, key group.Point) (mix.AccuseReveal, error) {
+	var resp HopAccuseResponse
+	if err := h.call("hop.accuse", HopAccuseRequest{Round: round, Msg: msg, Key: key.Bytes()}, &resp, h.CallTimeout); err != nil {
+		return mix.AccuseReveal{}, err
+	}
+	var ar mix.AccuseReveal
+	var err error
+	if ar.K, err = group.ParsePoint(resp.K); err != nil {
+		return mix.AccuseReveal{}, fmt.Errorf("rpc: accuse key: %w", err)
+	}
+	if ar.Proof, err = nizk.ParseProof(resp.Proof); err != nil {
+		return mix.AccuseReveal{}, fmt.Errorf("rpc: accuse proof: %w", err)
+	}
+	return ar, nil
+}
+
+// call performs one request/response exchange on a pooled connection.
+// A transport-level failure poisons the connection (framing state is
+// unknown), so it is closed instead of returned to the pool; an
+// application-level error (response.Err) leaves the connection
+// reusable.
+func (h *HopClient) call(method string, reqBody, respBody any, timeout time.Duration) error {
+	b, err := encode(reqBody)
+	if err != nil {
+		return err
+	}
+	req, err := encode(request{Method: method, Body: b})
+	if err != nil {
+		return err
+	}
+	conn, err := h.pool.get()
+	if err != nil {
+		return fmt.Errorf("rpc: dialing hop for %s: %w", method, err)
+	}
+	healthy := false
+	defer func() {
+		if healthy {
+			h.pool.put(conn)
+		} else {
+			conn.Close()
+		}
+	}()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := WriteFrame(conn, req); err != nil {
+		return fmt.Errorf("rpc: sending %s: %w", method, err)
+	}
+	frame, err := ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("rpc: reading %s response: %w", method, err)
+	}
+	var resp response
+	if err := decode(frame, &resp); err != nil {
+		return err
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	healthy = true
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return decode(resp.Body, respBody)
+}
+
+// connPool is a small idle-connection pool: concurrent calls each
+// get their own connection (the frame protocol is strictly
+// alternating per connection), and up to maxIdleHopConns are kept
+// warm between calls. Connections idle past maxConnIdle are
+// discarded on checkout — the serving side sheds idle connections
+// too, and handing out one it already closed would surface as a
+// spurious transport failure.
+type connPool struct {
+	addr   string
+	tlsCfg *tls.Config
+
+	mu     sync.Mutex
+	closed bool
+	free   []pooledConn
+}
+
+type pooledConn struct {
+	conn  net.Conn
+	since time.Time
+}
+
+func (p *connPool) get() (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("rpc: hop client closed")
+	}
+	var stale []net.Conn
+	var fresh net.Conn
+	for n := len(p.free); n > 0; n = len(p.free) {
+		pc := p.free[n-1]
+		p.free = p.free[:n-1]
+		if time.Since(pc.since) > maxConnIdle {
+			stale = append(stale, pc.conn)
+			continue
+		}
+		fresh = pc.conn
+		break
+	}
+	p.mu.Unlock()
+	for _, c := range stale {
+		c.Close()
+	}
+	if fresh != nil {
+		return fresh, nil
+	}
+	return tls.Dial("tcp", p.addr, p.tlsCfg)
+}
+
+func (p *connPool) put(conn net.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.free) >= maxIdleHopConns {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.free = append(p.free, pooledConn{conn: conn, since: time.Now()})
+	p.mu.Unlock()
+}
+
+func (p *connPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, pc := range free {
+		pc.conn.Close()
+	}
+}

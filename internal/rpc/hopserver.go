@@ -1,0 +1,281 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/aead"
+	"repro/internal/group"
+	"repro/internal/mix"
+	"repro/internal/onion"
+)
+
+// HopServer hosts one mix server position for a remote chain
+// orchestrator: the serving half of the hop transport, what an
+// `xrd-server -role mix` process runs. It starts keyless; the
+// gateway binds it to a chain position with hop.init (supplying the
+// base point its keys chain off, §6.1) and then drives rounds
+// through the hop.* methods. Incoming batches are staged chunk by
+// chunk so no single frame — and no single allocation on the read
+// path — grows with the round size.
+//
+// The hop trusts its orchestrator for liveness only: every incoming
+// point and proof is re-parsed and validated, chunk sizes and
+// sequence numbers are enforced, and a malformed request gets an
+// error response, never a panic. Secrets never leave except where
+// the protocol says so (inner key reveal after a successful round,
+// blame reveals with their DLEQ proofs).
+type HopServer struct {
+	*listenerCore
+	scheme aead.Scheme
+
+	mu  sync.Mutex
+	srv *mix.Server
+	// bound remembers the init binding for idempotent re-inits (a
+	// gateway that restarts mid-setup re-sends the same request).
+	bound *HopInitRequest
+	// stage is the inbound batch being assembled for a round.
+	stage *hopStage
+	// mixed is the last mixing step's output awaiting pulls.
+	mixed *hopMixed
+}
+
+type hopStage struct {
+	round   uint64
+	nextSeq int
+	envs    []onion.Envelope
+}
+
+type hopMixed struct {
+	round uint64
+	out   []onion.Envelope
+}
+
+// NewHopServer starts a hop endpoint on addr. A nil scheme selects
+// ChaCha20-Poly1305; it must match the deployment's.
+func NewHopServer(addr string, scheme aead.Scheme) (*HopServer, error) {
+	if scheme == nil {
+		scheme = aead.ChaCha20Poly1305()
+	}
+	h := &HopServer{scheme: scheme}
+	lc, err := newListenerCore(addr, h.handle)
+	if err != nil {
+		return nil, err
+	}
+	h.listenerCore = lc
+	return h, nil
+}
+
+// server returns the bound mix server or an error if hop.init has
+// not happened yet.
+func (h *HopServer) server() (*mix.Server, error) {
+	if h.srv == nil {
+		return nil, fmt.Errorf("rpc: hop not initialised; gateway must send hop.init first")
+	}
+	return h.srv, nil
+}
+
+func (h *HopServer) handle(method string, body []byte) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch method {
+	case "hop.init":
+		var req HopInitRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		if h.bound != nil {
+			if h.bound.Chain != req.Chain || h.bound.Index != req.Index || !bytes.Equal(h.bound.Base, req.Base) {
+				return nil, fmt.Errorf("rpc: hop already bound to chain %d position %d", h.bound.Chain, h.bound.Index)
+			}
+			return encode(hopKeysToWire(h.srv.Keys()))
+		}
+		if req.Index < 0 || req.Chain < 0 {
+			return nil, fmt.Errorf("rpc: invalid chain position %d:%d", req.Chain, req.Index)
+		}
+		base, err := group.ParsePoint(req.Base)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: hop base point: %w", err)
+		}
+		h.srv = mix.NewChainServer(req.Chain, req.Index, base, h.scheme)
+		h.bound = &req
+		return encode(hopKeysToWire(h.srv.Keys()))
+
+	case "hop.begin":
+		var req HopBeginRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		srv, err := h.server()
+		if err != nil {
+			return nil, err
+		}
+		ipk, proof := srv.BeginRound(req.Round)
+		return encode(HopBeginResponse{Ipk: ipk.Bytes(), Proof: proof.Bytes()})
+
+	case "hop.reveal":
+		var req HopRevealRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		srv, err := h.server()
+		if err != nil {
+			return nil, err
+		}
+		isk, err := srv.RevealInnerKey(req.Round)
+		if err != nil {
+			return nil, err
+		}
+		return encode(HopRevealResponse{Isk: isk.Bytes()})
+
+	case "hop.batch":
+		var req HopBatchRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		if _, err := h.server(); err != nil {
+			return nil, err
+		}
+		if len(req.Envelopes) == 0 || len(req.Envelopes) > MaxHopChunkEnvelopes {
+			return nil, fmt.Errorf("rpc: batch chunk of %d envelopes outside (0, %d]", len(req.Envelopes), MaxHopChunkEnvelopes)
+		}
+		envs, err := envelopesFromWire(req.Envelopes)
+		if err != nil {
+			return nil, err
+		}
+		if req.Seq == 0 {
+			// A fresh batch opens a new staging buffer, superseding
+			// anything half-staged (the orchestrator restarts from
+			// chunk 0 after blame removals or its own crash).
+			h.stage = &hopStage{round: req.Round}
+		}
+		if h.stage == nil || h.stage.round != req.Round || req.Seq != h.stage.nextSeq {
+			return nil, fmt.Errorf("rpc: unexpected batch chunk round=%d seq=%d", req.Round, req.Seq)
+		}
+		h.stage.envs = append(h.stage.envs, envs...)
+		h.stage.nextSeq++
+		return encode(HopBatchResponse{Received: len(h.stage.envs)})
+
+	case "hop.mix":
+		var req HopMixRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		srv, err := h.server()
+		if err != nil {
+			return nil, err
+		}
+		if len(req.Nonce) != aead.NonceSize {
+			return nil, fmt.Errorf("rpc: nonce has %d bytes, want %d", len(req.Nonce), aead.NonceSize)
+		}
+		if h.stage == nil || h.stage.round != req.Round {
+			return nil, fmt.Errorf("rpc: no staged batch for round %d", req.Round)
+		}
+		if len(h.stage.envs) != req.Count {
+			return nil, fmt.Errorf("rpc: staged %d envelopes, orchestrator announced %d", len(h.stage.envs), req.Count)
+		}
+		var nonce [aead.NonceSize]byte
+		copy(nonce[:], req.Nonce)
+		envs := h.stage.envs
+		h.stage = nil // consumed either way; retries restage from seq 0
+		mr, err := srv.Mix(req.Round, nonce, envs)
+		if err != nil {
+			return nil, err
+		}
+		if len(mr.Failed) > 0 {
+			h.mixed = nil
+			return encode(HopMixResponse{Failed: mr.Failed})
+		}
+		h.mixed = &hopMixed{round: req.Round, out: mr.Out}
+		return encode(HopMixResponse{
+			Proof:    mr.Proof.Bytes(),
+			Out2In:   mr.Out2In,
+			OutCount: len(mr.Out),
+		})
+
+	case "hop.pull":
+		var req HopPullRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		if h.mixed == nil || h.mixed.round != req.Round {
+			return nil, fmt.Errorf("rpc: no mixed output for round %d", req.Round)
+		}
+		// Bound Seq itself before multiplying: a huge value would
+		// overflow the offset computation into a negative slice index.
+		if req.Seq < 0 || req.Seq > len(h.mixed.out)/MaxHopChunkEnvelopes {
+			return nil, fmt.Errorf("rpc: output chunk %d out of range", req.Seq)
+		}
+		lo := req.Seq * MaxHopChunkEnvelopes
+		if lo >= len(h.mixed.out) {
+			return nil, fmt.Errorf("rpc: output chunk %d out of range", req.Seq)
+		}
+		hi := lo + MaxHopChunkEnvelopes
+		if hi > len(h.mixed.out) {
+			hi = len(h.mixed.out)
+		}
+		return encode(HopPullResponse{
+			Envelopes: envelopesToWire(h.mixed.out[lo:hi]),
+			More:      hi < len(h.mixed.out),
+		})
+
+	case "hop.certify":
+		var req HopCertifyRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		srv, err := h.server()
+		if err != nil {
+			return nil, err
+		}
+		keep, err := unpackBools(req.Keep, req.N)
+		if err != nil {
+			return nil, err
+		}
+		proof, err := srv.ReProveSubset(req.Round, req.Epoch, keep)
+		if err != nil {
+			return nil, err
+		}
+		return encode(HopCertifyResponse{Proof: proof.Bytes()})
+
+	case "hop.blame":
+		var req HopBlameRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		srv, err := h.server()
+		if err != nil {
+			return nil, err
+		}
+		rev, err := srv.BlameRevealAt(req.Round, req.Msg, req.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return encode(HopBlameResponse{
+			Xin:        rev.Xin.Bytes(),
+			BlindProof: rev.BlindProof.Bytes(),
+			K:          rev.K.Bytes(),
+			KeyProof:   rev.KeyProof.Bytes(),
+		})
+
+	case "hop.accuse":
+		var req HopAccuseRequest
+		if err := decode(body, &req); err != nil {
+			return nil, err
+		}
+		srv, err := h.server()
+		if err != nil {
+			return nil, err
+		}
+		key, err := group.ParsePoint(req.Key)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: accused key: %w", err)
+		}
+		ar := srv.Accuse(req.Round, req.Msg, key)
+		return encode(HopAccuseResponse{K: ar.K.Bytes(), Proof: ar.Proof.Bytes()})
+
+	default:
+		return nil, fmt.Errorf("rpc: unknown hop method %q", method)
+	}
+}

@@ -1,0 +1,184 @@
+package rpc
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Connection deadline defaults. Without deadlines an idle or stalled
+// peer pins a handler goroutine (and its connection) forever; every
+// conn this package owns gets a read deadline covering the gap
+// between frames and a write deadline per response. Both are
+// configurable on the owning Server/HopServer/Client.
+const (
+	// DefaultIdleTimeout is how long a server connection may sit
+	// between request frames before it is dropped.
+	DefaultIdleTimeout = 3 * time.Minute
+	// DefaultWriteTimeout bounds writing one response frame.
+	DefaultWriteTimeout = time.Minute
+)
+
+// listenerCore is the shared TLS endpoint machinery: listener,
+// connection tracking, the per-connection frame loop with idle/write
+// deadlines, and shutdown. The user gateway (Server) and the mix hop
+// endpoint (HopServer) are both a listenerCore plus a dispatch table.
+type listenerCore struct {
+	ln net.Listener
+
+	serverTLS *tls.Config
+	clientTLS *tls.Config
+
+	// IdleTimeout and WriteTimeout guard the frame loop; zero
+	// disables the respective deadline. Set before serving traffic.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	// handle dispatches one decoded request.
+	handle func(method string, body []byte) ([]byte, error)
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// newListenerCore starts a TLS listener on addr with a fresh
+// self-signed pinned certificate and begins accepting connections.
+func newListenerCore(addr string, handle func(method string, body []byte) ([]byte, error)) (*listenerCore, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	serverTLS, clientTLS, err := SelfSignedTLS(host)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := tls.Listen("tcp", addr, serverTLS)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listening on %s: %w", addr, err)
+	}
+	s := &listenerCore{
+		ln:           ln,
+		serverTLS:    serverTLS,
+		clientTLS:    clientTLS,
+		IdleTimeout:  DefaultIdleTimeout,
+		WriteTimeout: DefaultWriteTimeout,
+		Logf:         log.Printf,
+		handle:       handle,
+		conns:        make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *listenerCore) Addr() string { return s.ln.Addr().String() }
+
+// ClientTLS returns a TLS config that trusts this endpoint's
+// ephemeral certificate (how the PKI of §3.1 is modelled; see
+// SelfSignedTLS).
+func (s *listenerCore) ClientTLS() *tls.Config { return s.clientTLS.Clone() }
+
+// CertificatePEM returns the endpoint certificate for out-of-band
+// distribution to peer processes.
+func (s *listenerCore) CertificatePEM() ([]byte, error) { return CertificatePEM(s.serverTLS) }
+
+// Close stops the listener and all connections.
+func (s *listenerCore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *listenerCore) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *listenerCore) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		// The read deadline spans the idle gap between frames: a peer
+		// that connects and goes silent is shed instead of holding
+		// this goroutine for the life of the process.
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.Logf("rpc: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		var req request
+		if err := decode(frame, &req); err != nil {
+			s.Logf("rpc: bad request from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		resp := s.dispatch(req)
+		out, err := encode(resp)
+		if err != nil {
+			s.Logf("rpc: encoding response: %v", err)
+			return
+		}
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		if err := WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *listenerCore) dispatch(req request) response {
+	body, err := s.handle(req.Method, req.Body)
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	return response{Body: body}
+}

@@ -274,6 +274,38 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestClientRedialsAfterConnFailure: a transport failure poisons the
+// client's connection (its framing state is unknown), and the next
+// call transparently dials a fresh one — so a gateway shedding an
+// idle connection does not permanently wedge a long-lived client.
+func TestClientRedialsAfterConnFailure(t *testing.T) {
+	_, srv := newDeployment(t)
+	conn, err := Dial(srv.Addr(), srv.ClientTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Status(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the underlying connection behind the client's back, as an
+	// idle-timeout shed or network blip would.
+	conn.mu.Lock()
+	conn.conn.Close()
+	conn.mu.Unlock()
+	// The in-flight state is unrecoverable, so one call may fail...
+	if _, err := conn.Status(); err == nil {
+		// (a very fast shed notice can even make this first call
+		// succeed on the redialed conn in theory; either way the next
+		// one must work)
+		return
+	}
+	// ...but the client must heal, not wedge.
+	if _, err := conn.Status(); err != nil {
+		t.Fatalf("client did not redial after connection failure: %v", err)
+	}
+}
+
 func TestUnknownMethod(t *testing.T) {
 	_, srv := newDeployment(t)
 	conn, err := Dial(srv.Addr(), srv.ClientTLS())

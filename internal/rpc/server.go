@@ -1,13 +1,7 @@
 package rpc
 
 import (
-	"crypto/tls"
-	"errors"
 	"fmt"
-	"io"
-	"log"
-	"net"
-	"sync"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -15,140 +9,23 @@ import (
 
 // Server exposes a core.Network to remote users over TLS: parameter
 // distribution, message submission, mailbox download, deployment
-// status, and round driving.
+// status, and round driving. Connection handling (deadlines,
+// shutdown) lives in listenerCore.
 type Server struct {
+	*listenerCore
 	network *core.Network
-	ln      net.Listener
-
-	serverTLS *tls.Config
-	clientTLS *tls.Config
-
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup
-
-	// Logf receives connection-level errors; defaults to log.Printf.
-	Logf func(format string, args ...any)
 }
 
 // NewServer starts a TLS listener on addr (e.g. "127.0.0.1:0")
 // serving the given network. Connections are handled until Close.
 func NewServer(network *core.Network, addr string) (*Server, error) {
-	host, _, err := net.SplitHostPort(addr)
-	if err != nil || host == "" {
-		host = "127.0.0.1"
-	}
-	serverTLS, clientTLS, err := SelfSignedTLS(host)
+	s := &Server{network: network}
+	lc, err := newListenerCore(addr, s.handle)
 	if err != nil {
 		return nil, err
 	}
-	ln, err := tls.Listen("tcp", addr, serverTLS)
-	if err != nil {
-		return nil, fmt.Errorf("rpc: listening on %s: %w", addr, err)
-	}
-	s := &Server{
-		network:   network,
-		ln:        ln,
-		serverTLS: serverTLS,
-		clientTLS: clientTLS,
-		conns:     make(map[net.Conn]bool),
-		Logf:      log.Printf,
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.listenerCore = lc
 	return s, nil
-}
-
-// Addr returns the listener's address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// ClientTLS returns a TLS config that trusts this server's ephemeral
-// certificate (how the PKI of §3.1 is modelled; see SelfSignedTLS).
-func (s *Server) ClientTLS() *tls.Config { return s.clientTLS.Clone() }
-
-// CertificatePEM returns the server certificate for out-of-band
-// distribution to client processes.
-func (s *Server) CertificatePEM() ([]byte, error) { return CertificatePEM(s.serverTLS) }
-
-// Close stops the listener and all connections.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = true
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	for {
-		frame, err := ReadFrame(conn)
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.Logf("rpc: connection %s: %v", conn.RemoteAddr(), err)
-			}
-			return
-		}
-		var req request
-		if err := decode(frame, &req); err != nil {
-			s.Logf("rpc: bad request from %s: %v", conn.RemoteAddr(), err)
-			return
-		}
-		resp := s.dispatch(req)
-		out, err := encode(resp)
-		if err != nil {
-			s.Logf("rpc: encoding response: %v", err)
-			return
-		}
-		if err := WriteFrame(conn, out); err != nil {
-			return
-		}
-	}
-}
-
-func (s *Server) dispatch(req request) response {
-	body, err := s.handle(req.Method, req.Body)
-	if err != nil {
-		return response{Err: err.Error()}
-	}
-	return response{Body: body}
 }
 
 func (s *Server) handle(method string, body []byte) ([]byte, error) {
