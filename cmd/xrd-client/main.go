@@ -20,9 +20,10 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7900", "gateway address")
-		cert = flag.String("cert", "xrd-gateway.pem", "gateway certificate (from xrd-server -cert-out)")
-		msg  = flag.String("msg", "hello from xrd-client", "message Alice sends Bob")
+		addr    = flag.String("addr", "127.0.0.1:7900", "gateway address")
+		cert    = flag.String("cert", "xrd-gateway.pem", "gateway certificate (from xrd-server -cert-out)")
+		msg     = flag.String("msg", "hello from xrd-client", "message Alice sends Bob")
+		trigger = flag.Bool("trigger-only", false, "trigger one round without submitting (advances a halted deployment so it can re-form)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,17 @@ func main() {
 		}
 		return c
 	}
+	if *trigger {
+		driver := dial()
+		defer driver.Close()
+		rep, err := driver.RunRound()
+		if err != nil {
+			log.Fatalf("round: %v", err)
+		}
+		fmt.Printf("round %d executed: %d messages delivered\n", rep.Round, rep.Delivered)
+		return
+	}
+
 	aliceConn, bobConn, driver := dial(), dial(), dial()
 	defer aliceConn.Close()
 	defer bobConn.Close()

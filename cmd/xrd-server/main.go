@@ -10,7 +10,16 @@
 // Role "mix" hosts a single mix server at one chain position. It
 // starts keyless and unbound; the gateway binds it to its position
 // (and supplies the base its keys chain off) during setup. Which
-// position it serves is decided by the gateway's -hops flag.
+// position it serves is decided by the gateway's -hops or
+// -mix-servers flag.
+//
+// -hops keys remote processes by chain coordinate ("chain:pos=...").
+// -mix-servers keys them by server identity ("id=...") instead, which
+// is what epoch recovery needs: after a halt the gateway evicts the
+// blamed server, re-forms the chains from the survivors and re-binds
+// each surviving process at its new coordinate — only a stable
+// identity survives that re-shuffle. -mix-servers therefore enables
+// recovery (-recover) by default.
 //
 // Every process writes its pinned TLS certificate to -cert-out (the
 // paper's assumed PKI distributes server identities; the files play
@@ -21,7 +30,13 @@
 //	xrd-server -role mix -addr 127.0.0.1:7902 -cert-out mix2.pem
 //	xrd-server -role mix -addr 127.0.0.1:7903 -cert-out mix3.pem
 //	xrd-server -addr 127.0.0.1:7900 -servers 3 -chains 1 -k 3 \
-//	    -hops "0:0=127.0.0.1:7901=mix1.pem,0:1=127.0.0.1:7902=mix2.pem,0:2=127.0.0.1:7903=mix3.pem"
+//	    -mix-servers "0=127.0.0.1:7901=mix1.pem,1=127.0.0.1:7902=mix2.pem,2=127.0.0.1:7903=mix3.pem"
+//
+// -faults injects deterministic connection faults (drops, delays,
+// corruption, partitions — see internal/faults) into the hop
+// transport: on the gateway it wraps every hop connection it dials,
+// on a mix it wraps every connection it accepts. The chaos end-to-end
+// suite drives a live deployment through halts and recovery with it.
 package main
 
 import (
@@ -32,9 +47,11 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/group"
 	"repro/internal/mix"
 	"repro/internal/rpc"
@@ -42,37 +59,67 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "gateway", "process role: gateway (deployment + user API) or mix (one remote chain position)")
-		addr     = flag.String("addr", "127.0.0.1:7900", "TLS listen address")
-		certOut  = flag.String("cert-out", "xrd-gateway.pem", "file to write the pinned TLS certificate to")
-		servers  = flag.Int("servers", 20, "number of mix servers N")
-		chains   = flag.Int("chains", 0, "number of chains n (0 means n = N as in the paper)")
-		k        = flag.Int("k", 6, "chain length override (0 derives k from -f)")
-		f        = flag.Float64("f", 0.2, "assumed fraction of malicious servers")
-		seed     = flag.String("seed", "public-beacon", "public randomness seed for chain formation")
-		boxes    = flag.Int("mailboxes", 2, "mailbox server count")
-		interval = flag.Duration("interval", 10*time.Second, "round interval (0 = rounds only via client trigger)")
-		hops     = flag.String("hops", "", `remote chain positions as "chain:pos=addr=certfile,..." (gateway role)`)
+		role       = flag.String("role", "gateway", "process role: gateway (deployment + user API) or mix (one remote chain position)")
+		addr       = flag.String("addr", "127.0.0.1:7900", "TLS listen address")
+		certOut    = flag.String("cert-out", "xrd-gateway.pem", "file to write the pinned TLS certificate to")
+		servers    = flag.Int("servers", 20, "number of mix servers N")
+		chains     = flag.Int("chains", 0, "number of chains n (0 means n = N as in the paper)")
+		k          = flag.Int("k", 6, "chain length override (0 derives k from -f)")
+		f          = flag.Float64("f", 0.2, "assumed fraction of malicious servers")
+		seed       = flag.String("seed", "public-beacon", "public randomness seed for chain formation")
+		boxes      = flag.Int("mailboxes", 2, "mailbox server count")
+		interval   = flag.Duration("interval", 10*time.Second, "round interval (0 = rounds only via client trigger)")
+		hops       = flag.String("hops", "", `remote chain positions as "chain:pos=addr=certfile,..." (gateway role)`)
+		mixServers = flag.String("mix-servers", "", `remote mix processes as "id=addr=certfile,..." keyed by server identity (gateway role; enables -recover)`)
+		recoverOn  = flag.Bool("recover", false, "evict blamed servers and re-form chains after a halt (on by default with -mix-servers)")
+		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "delay,target=srv1,delay=2s,after=3;drop,target=srv2" (see internal/faults)`)
+		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for -faults probability coins")
 	)
 	flag.Parse()
 
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		var err error
+		inj, err = faults.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatalf("parsing -faults: %v", err)
+		}
+	}
+
 	switch *role {
 	case "gateway":
-		runGateway(*addr, *certOut, *servers, *chains, *k, *f, *seed, *boxes, *interval, *hops)
+		runGateway(gatewayOpts{
+			addr:       *addr,
+			certOut:    *certOut,
+			servers:    *servers,
+			chains:     *chains,
+			k:          *k,
+			f:          *f,
+			seed:       *seed,
+			boxes:      *boxes,
+			interval:   *interval,
+			hopSpec:    *hops,
+			serverSpec: *mixServers,
+			recover:    *recoverOn || *mixServers != "",
+			inj:        inj,
+		})
 	case "mix":
-		runMix(*addr, *certOut)
+		runMix(*addr, *certOut, inj)
 	default:
 		log.Fatalf("unknown role %q (want gateway or mix)", *role)
 	}
 }
 
 // runMix hosts one chain position behind the hop transport and waits.
-func runMix(addr, certOut string) {
+func runMix(addr, certOut string, inj *faults.Injector) {
 	hs, err := rpc.NewHopServer(addr, nil)
 	if err != nil {
 		log.Fatalf("starting hop endpoint: %v", err)
 	}
 	defer hs.Close()
+	if inj != nil {
+		hs.SetConnWrapper(inj.Wrapper("accept@" + addr))
+	}
 	if err := writeCert(hs.CertificatePEM, certOut); err != nil {
 		log.Fatal(err)
 	}
@@ -83,21 +130,49 @@ func runMix(addr, certOut string) {
 	fmt.Println("\nxrd-server[mix]: shutting down")
 }
 
+type gatewayOpts struct {
+	addr, certOut   string
+	servers, chains int
+	k               int
+	f               float64
+	seed            string
+	boxes           int
+	interval        time.Duration
+	hopSpec         string // chain:pos-keyed remotes
+	serverSpec      string // server-identity-keyed remotes
+	recover         bool
+	inj             *faults.Injector
+}
+
 // runGateway assembles the deployment (dialing remote hops first) and
 // serves users.
-func runGateway(addr, certOut string, servers, chains, k int, f float64, seed string, boxes int, interval time.Duration, hopSpec string) {
-	remotes, err := parseHopSpecs(hopSpec)
+func runGateway(o gatewayOpts) {
+	remotes, err := parseHopSpecs(o.hopSpec)
 	if err != nil {
 		log.Fatalf("parsing -hops: %v", err)
 	}
+	byServer, err := parseServerSpecs(o.serverSpec)
+	if err != nil {
+		log.Fatalf("parsing -mix-servers: %v", err)
+	}
+	if len(remotes) > 0 && len(byServer) > 0 {
+		log.Fatal("-hops and -mix-servers are mutually exclusive")
+	}
+	for id := range byServer {
+		if id < 0 || id >= o.servers {
+			log.Fatalf("-mix-servers entry %d is outside the server set 0..%d", id, o.servers-1)
+		}
+	}
+
 	used := make(map[[2]int]bool)
 	cfg := core.Config{
-		NumServers:          servers,
-		NumChains:           chains,
-		ChainLengthOverride: k,
-		F:                   f,
-		Seed:                []byte(seed),
-		MailboxServers:      boxes,
+		NumServers:          o.servers,
+		NumChains:           o.chains,
+		ChainLengthOverride: o.k,
+		F:                   o.f,
+		Seed:                []byte(o.seed),
+		MailboxServers:      o.boxes,
+		Recover:             o.recover,
 	}
 	if len(remotes) > 0 {
 		cfg.RemoteHops = func(chain, pos int, base group.Point) (mix.Hop, error) {
@@ -105,19 +180,46 @@ func runGateway(addr, certOut string, servers, chains, k int, f float64, seed st
 			if !ok {
 				return nil, nil
 			}
-			pem, err := os.ReadFile(spec.certFile)
-			if err != nil {
-				return nil, fmt.Errorf("reading %s: %w", spec.certFile, err)
-			}
-			tlsCfg, err := rpc.ClientTLSFromPEM(pem)
+			hc, err := dialSpec(spec, fmt.Sprintf("hop%d:%d", chain, pos), o.inj)
 			if err != nil {
 				return nil, err
 			}
-			hc := rpc.DialHop(spec.addr, tlsCfg)
 			if _, err := hc.Init(chain, pos, base); err != nil {
 				return nil, fmt.Errorf("binding %s to %d:%d: %w", spec.addr, chain, pos, err)
 			}
 			used[[2]int{chain, pos}] = true
+			return hc, nil
+		}
+	}
+	usedServers := make(map[int]bool)
+	if len(byServer) > 0 {
+		// One client per process, reused across epochs: after a
+		// re-form the surviving process is re-bound in place via
+		// InitEpoch, keeping its connection pool.
+		var mu sync.Mutex
+		clients := make(map[int]*rpc.HopClient)
+		cfg.HopForServer = func(epoch uint64, server, chain, pos int, base group.Point) (mix.Hop, error) {
+			spec, ok := byServer[server]
+			if !ok {
+				return nil, nil
+			}
+			mu.Lock()
+			hc, ok := clients[server]
+			if !ok {
+				var err error
+				hc, err = dialSpec(spec, fmt.Sprintf("srv%d", server), o.inj)
+				if err != nil {
+					mu.Unlock()
+					return nil, err
+				}
+				clients[server] = hc
+			}
+			usedServers[server] = true
+			mu.Unlock()
+			if _, err := hc.InitEpoch(epoch, chain, pos, base); err != nil {
+				return nil, fmt.Errorf("binding server %d (%s) to %d:%d at epoch %d: %w",
+					server, spec.addr, chain, pos, epoch, err)
+			}
 			return hc, nil
 		}
 	}
@@ -131,29 +233,34 @@ func runGateway(addr, certOut string, servers, chains, k int, f float64, seed st
 			log.Fatalf("-hops entry %d:%d matches no chain position of this topology", key[0], key[1])
 		}
 	}
+	for id := range byServer {
+		if !usedServers[id] {
+			log.Fatalf("-mix-servers entry %d holds no chain position of this topology", id)
+		}
+	}
 
-	gw, err := rpc.NewServer(net, addr)
+	gw, err := rpc.NewServer(net, o.addr)
 	if err != nil {
 		log.Fatalf("starting gateway: %v", err)
 	}
 	defer gw.Close()
-	if err := writeCert(gw.CertificatePEM, certOut); err != nil {
+	if err := writeCert(gw.CertificatePEM, o.certOut); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user, %d remote positions\n",
-		net.NumChains(), net.Topology().ChainLength, net.Plan().L, len(remotes))
-	fmt.Printf("xrd-server: listening on %s (certificate in %s)\n", gw.Addr(), certOut)
+	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user, %d remote positions, recover=%v\n",
+		net.NumChains(), net.Topology().ChainLength, net.Plan().L, len(remotes)+len(byServer), o.recover)
+	fmt.Printf("xrd-server: listening on %s (certificate in %s)\n", gw.Addr(), o.certOut)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 
-	if interval <= 0 {
+	if o.interval <= 0 {
 		fmt.Println("xrd-server: rounds run on client trigger only")
 		<-stop
 		return
 	}
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(o.interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -172,9 +279,13 @@ func runGateway(addr, certOut string, servers, chains, k int, f float64, seed st
 					continue
 				}
 			}
-			fmt.Printf("round %d: delivered=%d halted=%v failed=%v blamed-users=%v covered=%d\n",
-				rep.Round, rep.Delivered, rep.HaltedChains, rep.FailedChains,
-				rep.BlamedUsers, rep.OfflineCovered)
+			fmt.Printf("round %d: epoch=%d delivered=%d halted=%v failed=%v dead=%v stranded=%d blamed-users=%v covered=%d\n",
+				rep.Round, rep.Epoch, rep.Delivered, rep.HaltedChains, rep.FailedChains,
+				rep.DeadChains, len(rep.Stranded), rep.BlamedUsers, rep.OfflineCovered)
+			if rep.Reformed {
+				fmt.Printf("round %d: re-formed chains at epoch %d after evicting servers %v\n",
+					rep.Round, rep.Epoch, rep.Evicted)
+			}
 			net.PruneBefore(rep.Round - 4)
 		}
 	}
@@ -183,6 +294,25 @@ func runGateway(addr, certOut string, servers, chains, k int, f float64, seed st
 type hopSpec struct {
 	addr     string
 	certFile string
+}
+
+// dialSpec opens a hop client for one remote process, pinning its
+// certificate and installing the fault-injection wrapper when one is
+// configured.
+func dialSpec(spec hopSpec, label string, inj *faults.Injector) (*rpc.HopClient, error) {
+	pem, err := os.ReadFile(spec.certFile)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", spec.certFile, err)
+	}
+	tlsCfg, err := rpc.ClientTLSFromPEM(pem)
+	if err != nil {
+		return nil, err
+	}
+	hc := rpc.DialHop(spec.addr, tlsCfg)
+	if inj != nil {
+		hc.SetConnWrapper(inj.Wrapper(label))
+	}
+	return hc, nil
 }
 
 // parseHopSpecs parses "chain:pos=addr=certfile,..." into a position
@@ -215,6 +345,31 @@ func parseHopSpecs(s string) (map[[2]int]hopSpec, error) {
 			return nil, fmt.Errorf("position %d:%d listed twice", chain, pos)
 		}
 		out[key] = hopSpec{addr: parts[1], certFile: parts[2]}
+	}
+	return out, nil
+}
+
+// parseServerSpecs parses "id=addr=certfile,..." into a server
+// identity map.
+func parseServerSpecs(s string) (map[int]hopSpec, error) {
+	out := make(map[int]hopSpec)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		parts := strings.Split(entry, "=")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("entry %q: want id=addr=certfile", entry)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: server id: %w", entry, err)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("server %d listed twice", id)
+		}
+		out[id] = hopSpec{addr: parts[1], certFile: parts[2]}
 	}
 	return out, nil
 }

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestActiveAttackExample executes the example end to end; run()
+// checks its own invariants (attacker blamed, honest users spared)
+// and returns an error on any deviation.
+func TestActiveAttackExample(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

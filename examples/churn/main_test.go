@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestChurnExample executes the example end to end; run() checks its
+// own invariants (covers run, offline signal lands, partial outage
+// heals) and returns an error on any deviation.
+func TestChurnExample(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

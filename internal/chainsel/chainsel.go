@@ -160,3 +160,39 @@ func (p *Plan) ChainLoadFactors() []int {
 // per lane per round. With cover traffic for round ρ+1 (§5.3.3) the
 // wire count doubles.
 func (p *Plan) MessagesPerUser() int { return p.L }
+
+// Migration relates the chain-selection plans of two consecutive
+// epochs. When chains are re-formed after an eviction (the halted
+// epoch's blamed servers leave and n shrinks), every participant
+// recomputes group membership and meeting chains under the new plan;
+// Migration answers which conversations moved, for re-routing users
+// off a dead chain and for scenario assertions.
+type Migration struct {
+	// Old and New are the plans before and after re-formation.
+	Old, New *Plan
+}
+
+// Reform computes the plan for a re-formed network of n chains and
+// the migration from prev. It is the epoch-boundary counterpart of
+// NewPlan: purely deterministic in n, so gateway and users agree on
+// the new assignment without coordination beyond learning n.
+func Reform(prev *Plan, n int) (*Plan, *Migration, error) {
+	if prev == nil {
+		return nil, nil, fmt.Errorf("chainsel: reform needs the previous plan")
+	}
+	next, err := NewPlan(n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chainsel: reforming from %d to %d chains: %w", prev.NumChains, n, err)
+	}
+	return next, &Migration{Old: prev, New: next}, nil
+}
+
+// Moved reports whether the conversation between the holders of pkA
+// and pkB changed meeting chain across the migration, and returns the
+// chain under each plan. Group membership itself can change when the
+// group count ℓ+1 differs between the plans.
+func (m *Migration) Moved(pkA, pkB []byte) (oldChain, newChain int, moved bool) {
+	oldChain = m.Old.MeetingChainForUsers(pkA, pkB)
+	newChain = m.New.MeetingChainForUsers(pkA, pkB)
+	return oldChain, newChain, oldChain != newChain
+}

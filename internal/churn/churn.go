@@ -13,10 +13,73 @@ package churn
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"repro/internal/chainsel"
 	"repro/internal/topology"
 )
+
+// Evictor tracks servers expelled from a deployment across epochs.
+// When a chain halts with blame (§6.4), the orchestrator evicts the
+// blamed server here and re-forms chains over the survivors; the
+// evicted set only grows, so a byzantine server cannot rejoin by
+// surviving one re-formation.
+type Evictor struct {
+	mu      sync.Mutex
+	evicted map[int]bool
+}
+
+// NewEvictor returns an empty evictor.
+func NewEvictor() *Evictor {
+	return &Evictor{evicted: make(map[int]bool)}
+}
+
+// Evict marks a server as expelled. It reports whether the server was
+// newly evicted (false = already gone, the duplicate blame of a
+// replayed round).
+func (e *Evictor) Evict(server int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.evicted[server] {
+		return false
+	}
+	e.evicted[server] = true
+	return true
+}
+
+// IsEvicted reports whether a server has been expelled.
+func (e *Evictor) IsEvicted(server int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evicted[server]
+}
+
+// Evicted returns the expelled servers in ascending order.
+func (e *Evictor) Evicted() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, 0, len(e.evicted))
+	for s := range e.evicted {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Survivors filters the evicted servers out of a server id list,
+// preserving order: the input to the next epoch's topology build.
+func (e *Evictor) Survivors(servers []int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, 0, len(servers))
+	for _, s := range servers {
+		if !e.evicted[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
 
 // Config parameterises a churn simulation.
 type Config struct {
@@ -50,14 +113,10 @@ type Result struct {
 	ChainLength int
 }
 
-// Simulate runs the Monte-Carlo experiment.
+// Simulate runs the Monte-Carlo experiment over a topology it builds
+// itself from cfg (the paper's Figure 8 setting, fresh contiguous
+// servers).
 func Simulate(cfg Config) (*Result, error) {
-	if cfg.Pairs <= 0 || cfg.Trials <= 0 {
-		return nil, fmt.Errorf("churn: need positive Pairs and Trials, got %d/%d", cfg.Pairs, cfg.Trials)
-	}
-	if cfg.ChurnRate < 0 || cfg.ChurnRate > 1 {
-		return nil, fmt.Errorf("churn: churn rate %v outside [0,1]", cfg.ChurnRate)
-	}
 	topo, err := topology.Build(topology.Config{
 		NumServers:          cfg.NumServers,
 		F:                   cfg.F,
@@ -70,6 +129,32 @@ func Simulate(cfg Config) (*Result, error) {
 	plan, err := chainsel.NewPlan(len(topo.Chains))
 	if err != nil {
 		return nil, fmt.Errorf("churn: building plan: %w", err)
+	}
+	return SimulateOn(topo, plan, cfg)
+}
+
+// SimulateOn runs the experiment over an existing topology and chain
+// selection plan — the deployed hop-transport topology rather than a
+// synthetic one. Crash sampling iterates the topology's actual server
+// id set, so it stays correct for the sparse ids of a post-eviction
+// epoch.
+func SimulateOn(topo *topology.Topology, plan *chainsel.Plan, cfg Config) (*Result, error) {
+	if cfg.Pairs <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("churn: need positive Pairs and Trials, got %d/%d", cfg.Pairs, cfg.Trials)
+	}
+	if cfg.ChurnRate < 0 || cfg.ChurnRate > 1 {
+		return nil, fmt.Errorf("churn: churn rate %v outside [0,1]", cfg.ChurnRate)
+	}
+	if plan.NumChains != len(topo.Chains) {
+		return nil, fmt.Errorf("churn: plan covers %d chains, topology has %d", plan.NumChains, len(topo.Chains))
+	}
+	servers := topo.Servers
+	if len(servers) == 0 {
+		// Topologies predating the explicit id set are contiguous.
+		servers = make([]int, topo.NumServers)
+		for i := range servers {
+			servers[i] = i
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -86,9 +171,9 @@ func Simulate(cfg Config) (*Result, error) {
 	var failSum, chainFailSum float64
 	failedChain := make([]bool, len(topo.Chains))
 	for t := 0; t < cfg.Trials; t++ {
-		// Sample the crash set.
+		// Sample the crash set over the actual server ids.
 		crashed := make(map[int]bool)
-		for s := 0; s < cfg.NumServers; s++ {
+		for _, s := range servers {
 			if rng.Float64() < cfg.ChurnRate {
 				crashed[s] = true
 			}

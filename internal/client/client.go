@@ -28,6 +28,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/aead"
 	"repro/internal/chainsel"
@@ -245,6 +246,42 @@ func (u *User) MeetingChains() map[int]group.Point {
 		out[c] = p
 	}
 	return out
+}
+
+// Rebalance re-derives the user's conversation placement under a new
+// chain-selection plan, after the network re-forms chains for a new
+// epoch (eviction of a blamed server changes n, which changes both
+// group membership and meeting chains). Every partner is re-mapped to
+// the pair's meeting chain under the new plan; if two partners now
+// collide on one chain — the clash XRD cannot multiplex (§9) — all
+// but the first (by partner key order, so both sides agree) are
+// dropped and returned. Dropped partners' keys are retained so their
+// in-flight messages still decrypt.
+func (u *User) Rebalance(plan *chainsel.Plan) (dropped []group.Point) {
+	old := u.partners
+	u.plan = plan
+	u.partners = make(map[int]group.Point, len(old))
+
+	// Deterministic order: both ends of every conversation, and every
+	// replica of this user, resolve clashes identically.
+	ps := make([]group.Point, 0, len(old))
+	for _, p := range old {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		return string(ps[i].Bytes()) < string(ps[j].Bytes())
+	})
+	for _, p := range ps {
+		meeting := plan.MeetingChainForUsers(u.Mailbox(), p.Bytes())
+		if _, taken := u.partners[meeting]; taken {
+			u.retainFormer(p)
+			delete(u.outbox, string(p.Bytes()))
+			dropped = append(dropped, p)
+			continue
+		}
+		u.partners[meeting] = p
+	}
+	return dropped
 }
 
 // ChainMessage is one submission addressed to one chain.

@@ -37,11 +37,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/aead"
 	"repro/internal/chainsel"
+	"repro/internal/churn"
 	"repro/internal/client"
 	"repro/internal/group"
 	"repro/internal/mailbox"
@@ -84,7 +87,25 @@ type Config struct {
 	// rpc.HopClient initialised against the given base key, which is
 	// g for position 0 and the previous position's blinding key
 	// otherwise); returning nil keeps the position in-process.
+	//
+	// RemoteHops is keyed by chain coordinates, which do not survive a
+	// chain re-formation; deployments that enable Recover should use
+	// HopForServer instead.
 	RemoteHops func(chain, position int, base group.Point) (mix.Hop, error)
+	// HopForServer, when non-nil, supplies the transport for chain
+	// positions keyed by server identity, and is consulted again at
+	// every epoch re-formation: server ids are stable across epochs
+	// while chain coordinates are not. Returning nil hosts the
+	// position in-process (the provider may mix local and remote
+	// positions). Takes precedence over RemoteHops.
+	HopForServer func(epoch uint64, server, chain, position int, base group.Point) (mix.Hop, error)
+	// Recover enables epoch recovery: after a chain halts with blame,
+	// or fails to announce keys, the responsible servers are evicted
+	// and chains re-form over the survivors before the next round
+	// (halt → blame → evict → re-form → resume). Remotely hosted
+	// positions additionally need HopForServer so re-formed chains can
+	// reference them.
+	Recover bool
 }
 
 // Network is a fully assembled XRD deployment.
@@ -104,10 +125,25 @@ type Network struct {
 	// runMu serialises RunRound executions.
 	runMu sync.Mutex
 
+	// evictor records servers expelled across epochs (Config.Recover).
+	evictor *churn.Evictor
+
 	// mu guards the control state below — never user state, which
-	// lives behind per-shard locks in reg.
+	// lives behind per-shard locks in reg. plan, topo and chains (the
+	// struct fields above) are ALSO guarded by mu once the network is
+	// running: epoch re-formation swaps them, so every reader outside
+	// the reform path itself must snapshot them via topoView.
 	mu    sync.Mutex
 	round uint64
+	// epoch counts chain re-formations; 0 is the founding topology.
+	epoch uint64
+	// pendingEvict queues servers to expel before the next round runs:
+	// those blamed by a halted chain or unreachable at announce.
+	pendingEvict map[int]bool
+	// stranded records, per recent round, the users whose traffic rode
+	// a chain that halted, failed or could not announce — they get a
+	// deterministic retry error instead of a silent drop.
+	stranded map[uint64]map[string]bool
 	// collected is the highest round whose external traffic has been
 	// folded into batches. The round counter only advances after
 	// mixing and delivery, so SubmitExternal must check this
@@ -178,12 +214,15 @@ func NewNetwork(cfg Config) (*Network, error) {
 		workers:       workers,
 		round:         1,
 		reg:           newRegistry(),
+		evictor:       churn.NewEvictor(),
 		failedServers: make(map[int]bool),
 		injected:      make(map[int][]onion.Submission),
+		pendingEvict:  make(map[int]bool),
+		stranded:      make(map[uint64]map[string]bool),
 		banned:        make(map[string]bool),
 	}
 	for c := range topo.Chains {
-		chain, err := n.assembleChain(c)
+		chain, err := n.assembleChainAt(0, topo, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: keying chain %d: %w", c, err)
 		}
@@ -198,21 +237,31 @@ func NewNetwork(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// assembleChain keys one chain, placing each position in-process or
-// on a remote hop according to Config.RemoteHops. Remote key setup is
-// inherently sequential within a chain — position i's keys chain off
-// position i−1's blinding key (§6.1) — which is why the provider
-// receives the base point.
-func (n *Network) assembleChain(c int) (*mix.Chain, error) {
-	if n.cfg.RemoteHops == nil {
-		return mix.NewChain(c, n.topo.ChainLength, n.scheme)
+// assembleChainAt keys one chain of a topology for an epoch, placing
+// each position in-process or on a remote hop according to
+// Config.HopForServer (id-keyed, epoch-aware) or the legacy
+// Config.RemoteHops (coordinate-keyed, founding epoch only). Remote
+// key setup is inherently sequential within a chain — position i's
+// keys chain off position i−1's blinding key (§6.1) — which is why
+// the provider receives the base point. A provider failure is
+// returned as a mix.HopError so the reform loop can evict the
+// offending server.
+func (n *Network) assembleChainAt(epoch uint64, topo *topology.Topology, c int) (*mix.Chain, error) {
+	if n.cfg.HopForServer == nil && (n.cfg.RemoteHops == nil || epoch > 0) {
+		return mix.NewChain(c, topo.ChainLength, n.scheme)
 	}
-	hops := make([]mix.Hop, n.topo.ChainLength)
+	hops := make([]mix.Hop, topo.ChainLength)
 	base := group.Generator()
 	for i := range hops {
-		h, err := n.cfg.RemoteHops(c, i, base)
+		var h mix.Hop
+		var err error
+		if n.cfg.HopForServer != nil {
+			h, err = n.cfg.HopForServer(epoch, topo.Chains[c][i], c, i, base)
+		} else {
+			h, err = n.cfg.RemoteHops(c, i, base)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: remote hop for chain %d position %d: %w", c, i, err)
+			return nil, &mix.HopError{Chain: c, Position: i, Err: fmt.Errorf("core: remote hop setup: %w", err)}
 		}
 		if h == nil {
 			h = mix.LocalHop(mix.NewChainServer(c, i, base, n.scheme))
@@ -223,17 +272,18 @@ func (n *Network) assembleChain(c int) (*mix.Chain, error) {
 	return mix.NewChainFromHops(c, hops, n.scheme)
 }
 
-// announce publishes round's inner keys on every chain, in parallel —
-// with remote hops each chain's announcement is k sequential network
-// exchanges, and the chains are independent, so announcing serially
-// would put n·k round-trips on every round's critical path. It is
-// also best-effort across chains: one chain failing (a dead remote
-// hop, say) must not leave the others without announced keys, so
-// every chain is attempted and the errors joined.
-func (n *Network) announce(round uint64) error {
-	errs := make([]error, len(n.chains))
+// announceEach publishes round's inner keys on every chain, in
+// parallel — with remote hops each chain's announcement is k
+// sequential network exchanges, and the chains are independent, so
+// announcing serially would put n·k round-trips on every round's
+// critical path. It is best-effort across chains: one chain failing
+// (a dead remote hop, say) must not leave the others without
+// announced keys, so every chain is attempted and the per-chain
+// errors returned for the caller to attribute.
+func announceEach(chains []*mix.Chain, round uint64) []error {
+	errs := make([]error, len(chains))
 	var wg sync.WaitGroup
-	for i, c := range n.chains {
+	for i, c := range chains {
 		wg.Add(1)
 		go func(i int, c *mix.Chain) {
 			defer wg.Done()
@@ -243,17 +293,48 @@ func (n *Network) announce(round uint64) error {
 		}(i, c)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return errs
+}
+
+// announce is announceEach with the errors joined.
+func (n *Network) announce(round uint64) error {
+	return errors.Join(announceEach(n.chains, round)...)
+}
+
+// topoView snapshots the mutable topology state under mu. Epoch
+// re-formation swaps all three references atomically, so readers
+// holding a snapshot see one consistent epoch even while the next is
+// being formed.
+func (n *Network) topoView() (*chainsel.Plan, *topology.Topology, []*mix.Chain) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.plan, n.topo, n.chains
 }
 
 // Plan exposes the chain-selection plan (for tests and experiments).
-func (n *Network) Plan() *chainsel.Plan { return n.plan }
+func (n *Network) Plan() *chainsel.Plan {
+	p, _, _ := n.topoView()
+	return p
+}
 
 // Topology exposes the server-to-chain assignment.
-func (n *Network) Topology() *topology.Topology { return n.topo }
+func (n *Network) Topology() *topology.Topology {
+	_, t, _ := n.topoView()
+	return t
+}
 
 // NumChains returns n, the number of mix chains.
-func (n *Network) NumChains() int { return len(n.chains) }
+func (n *Network) NumChains() int {
+	_, _, chains := n.topoView()
+	return len(chains)
+}
+
+// Epoch returns the topology epoch (0 until the first re-formation).
+func (n *Network) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
 
 // Workers returns the size of the round pipeline's build worker pool.
 func (n *Network) Workers() int { return n.workers }
@@ -267,10 +348,11 @@ func (n *Network) Round() uint64 {
 
 // ChainParams implements client.ParamsSource.
 func (n *Network) ChainParams(chain int, round uint64) (mix.Params, error) {
-	if chain < 0 || chain >= len(n.chains) {
+	_, _, chains := n.topoView()
+	if chain < 0 || chain >= len(chains) {
 		return mix.Params{}, fmt.Errorf("core: no chain %d", chain)
 	}
-	return n.chains[chain].ParamsFor(round)
+	return chains[chain].ParamsFor(round)
 }
 
 // NewUser creates and registers a user; she participates in every
@@ -279,7 +361,8 @@ func (n *Network) ChainParams(chain int, round uint64) (mix.Params, error) {
 // if her registry shard has not been built yet, the next one
 // otherwise.
 func (n *Network) NewUser() *client.User {
-	u := client.NewUser(n.scheme, n.plan)
+	plan, _, _ := n.topoView()
+	u := client.NewUser(n.scheme, plan)
 	n.reg.insert(string(u.Mailbox()), &registeredUser{u: u, online: true})
 	return u
 }
@@ -331,13 +414,14 @@ func (n *Network) RestoreServer(server int) {
 // CorruptServer attaches a corruption to the server at the given
 // position of a chain (fault injection; see mix.Corruption).
 func (n *Network) CorruptServer(chain, position int, c *mix.Corruption) error {
-	if chain < 0 || chain >= len(n.chains) {
+	_, _, chains := n.topoView()
+	if chain < 0 || chain >= len(chains) {
 		return fmt.Errorf("core: no chain %d", chain)
 	}
-	if position < 0 || position >= n.chains[chain].Len() {
+	if position < 0 || position >= chains[chain].Len() {
 		return fmt.Errorf("core: chain %d has no position %d", chain, position)
 	}
-	s := n.chains[chain].Servers[position]
+	s := chains[chain].Servers[position]
 	if s == nil {
 		return fmt.Errorf("core: chain %d position %d is hosted remotely; corruption hooks need an in-process server", chain, position)
 	}
@@ -393,6 +477,20 @@ type RoundReport struct {
 	OfflineCovered int
 	// BlameRounds counts blame protocol executions across chains.
 	BlameRounds int
+	// DeadChains lists chains that could not announce this round's
+	// keys (an unreachable hop); their users are stranded for the
+	// round and, with Recover on, the chain re-forms before the next.
+	DeadChains []int
+	// Stranded lists users (mailbox identifiers) whose traffic rode a
+	// halted, failed or dead chain this round: nothing of theirs was
+	// delivered and StrandedError reports ErrRoundRetry for them.
+	Stranded []string
+	// Epoch is the topology epoch the round executed in.
+	Epoch uint64
+	// Reformed reports that chains were re-formed (a new epoch began)
+	// before this round ran; Evicted lists the servers expelled.
+	Reformed bool
+	Evicted  []int
 }
 
 // chainBatch pairs a chain's submissions with their submitters for
@@ -431,15 +529,20 @@ func (p *roundParams) ChainParams(chain int, round uint64) (mix.Params, error) {
 	return mix.Params{}, fmt.Errorf("core: no parameter snapshot for round %d", round)
 }
 
-// snapshotParams captures every chain's parameters for rounds rho and
-// rho+1 (covers are built for the next round, §5.3.3).
-func (n *Network) snapshotParams(rho uint64) (*roundParams, error) {
+// snapshotParams captures every live chain's parameters for rounds
+// rho and rho+1 (covers are built for the next round, §5.3.3). Dead
+// chains — those that failed to announce — keep zero parameters; the
+// build stage strands their users instead of reading them.
+func snapshotParams(chains []*mix.Chain, rho uint64, dead map[int]bool) (*roundParams, error) {
 	p := &roundParams{
 		rho:  rho,
-		cur:  make([]mix.Params, len(n.chains)),
-		next: make([]mix.Params, len(n.chains)),
+		cur:  make([]mix.Params, len(chains)),
+		next: make([]mix.Params, len(chains)),
 	}
-	for c, chain := range n.chains {
+	for c, chain := range chains {
+		if dead[c] {
+			continue
+		}
 		var err error
 		if p.cur[c], err = chain.ParamsFor(rho); err != nil {
 			return nil, fmt.Errorf("core: snapshotting chain %d: %w", c, err)
@@ -457,6 +560,9 @@ func (n *Network) snapshotParams(rho uint64) (*roundParams, error) {
 type buildAcc struct {
 	batches []chainBatch
 	covered int
+	// skipped are users who could not participate this round because
+	// one of their ℓ chains is dead (failed to announce keys).
+	skipped []string
 	err     error
 }
 
@@ -466,8 +572,9 @@ type buildAcc struct {
 // users build fresh messages and bank next-round covers, offline
 // users spend their banked covers exactly once (§5.3.3). The
 // worker-local per-chain slices are then merged into one batch per
-// chain. Returns the merged batches and the offline-covered count.
-func (n *Network) buildBatches(rho uint64, src client.ParamsSource) ([]chainBatch, int, error) {
+// chain. Returns the merged batches, the offline-covered count, and
+// the users skipped because a dead chain made their round impossible.
+func (n *Network) buildBatches(rho uint64, src client.ParamsSource, numChains int, dead map[int]bool) ([]chainBatch, int, []string, error) {
 	workers := n.workers
 	accs := make([]buildAcc, workers)
 	var cursor atomic.Int64
@@ -476,13 +583,13 @@ func (n *Network) buildBatches(rho uint64, src client.ParamsSource) ([]chainBatc
 		wg.Add(1)
 		go func(acc *buildAcc) {
 			defer wg.Done()
-			acc.batches = make([]chainBatch, len(n.chains))
+			acc.batches = make([]chainBatch, numChains)
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= numShards {
 					return
 				}
-				if err := n.buildShard(&n.reg.shards[i], rho, src, acc); err != nil {
+				if err := n.buildShard(&n.reg.shards[i], rho, src, acc, dead); err != nil {
 					acc.err = err
 					return
 				}
@@ -492,13 +599,15 @@ func (n *Network) buildBatches(rho uint64, src client.ParamsSource) ([]chainBatc
 	wg.Wait()
 
 	covered := 0
+	var skipped []string
 	for w := range accs {
 		if accs[w].err != nil {
-			return nil, 0, accs[w].err
+			return nil, 0, nil, accs[w].err
 		}
 		covered += accs[w].covered
+		skipped = append(skipped, accs[w].skipped...)
 	}
-	merged := make([]chainBatch, len(n.chains))
+	merged := make([]chainBatch, numChains)
 	for c := range merged {
 		total := 0
 		for w := range accs {
@@ -511,19 +620,37 @@ func (n *Network) buildBatches(rho uint64, src client.ParamsSource) ([]chainBatc
 			merged[c].submitters = append(merged[c].submitters, accs[w].batches[c].submitters...)
 		}
 	}
-	return merged, covered, nil
+	return merged, covered, skipped, nil
 }
 
 // buildShard builds one registry shard's users into the worker's
 // accumulator. The shard lock is held for the duration, so presence
 // changes and conversation mutations for these users serialise
-// against the build — and against nothing else.
-func (n *Network) buildShard(sh *userShard, rho uint64, src client.ParamsSource, acc *buildAcc) error {
+// against the build — and against nothing else. Users with a dead
+// chain among their ℓ chains cannot build a valid round (the wire
+// pattern requires all ℓ messages) and are skipped as stranded; their
+// banked covers stay banked.
+func (n *Network) buildShard(sh *userShard, rho uint64, src client.ParamsSource, acc *buildAcc, dead map[int]bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for key, ru := range sh.users {
 		if ru.removed {
 			continue
+		}
+		if len(dead) > 0 {
+			onDead := false
+			for _, c := range ru.u.Chains() {
+				if dead[c] {
+					onDead = true
+					break
+				}
+			}
+			if onDead {
+				if ru.online {
+					acc.skipped = append(acc.skipped, key)
+				}
+				continue
+			}
 		}
 		if ru.online {
 			out, err := ru.u.BuildRound(rho, src)
@@ -554,38 +681,81 @@ func (n *Network) buildShard(sh *userShard, rho uint64, src client.ParamsSource,
 // mixing across chains, parallel delivery into the mailbox cluster.
 // Blamed users are removed from the network before the next round.
 // Concurrent RunRound calls are serialised.
+//
+// With Config.Recover set, RunRound additionally performs epoch
+// recovery: servers blamed by a previous round (a halted chain, a
+// failed announce) are evicted and the chains re-formed over the
+// survivors before this round executes, and chains that cannot
+// announce this round's keys run dead — their users are stranded for
+// the round (see StrandedError) rather than wedging the deployment.
 func (n *Network) RunRound() (*RoundReport, error) {
 	n.runMu.Lock()
 	defer n.runMu.Unlock()
 
+	// Epoch recovery: expel the servers blamed since the last round
+	// and re-form chains over the survivors before this round runs
+	// (halt → blame → evict → re-form → resume).
+	var reformed bool
+	var evicted []int
+	if n.cfg.Recover {
+		n.mu.Lock()
+		pending := len(n.pendingEvict) > 0
+		n.mu.Unlock()
+		if pending {
+			var err error
+			evicted, err = n.reform()
+			if err != nil {
+				return nil, err
+			}
+			reformed = len(evicted) > 0
+		}
+	}
+
 	n.mu.Lock()
 	rho := n.round
+	epoch := n.epoch
 	injected := n.injected
 	n.injected = make(map[int][]onion.Submission)
 	failed := make(map[int]bool, len(n.failedServers))
 	for s := range n.failedServers {
 		failed[s] = true
 	}
+	topo, chains := n.topo, n.chains
 	n.mu.Unlock()
 
-	report := &RoundReport{Round: rho}
+	report := &RoundReport{Round: rho, Epoch: epoch, Reformed: reformed, Evicted: evicted}
 
 	// Re-announce the rounds this execution needs. BeginRound is
 	// idempotent, so on the happy path this is a map hit per chain;
 	// after a failed trailing announce (a remote hop that blipped
 	// last round and recovered) it is the retry that un-wedges the
-	// deployment. Chains that still cannot announce surface through
-	// snapshotParams below.
-	_ = n.announce(rho)
-	_ = n.announce(rho + 1)
+	// deployment. A chain that still cannot announce is dead for the
+	// round: it is excluded from the parameter snapshot, the build
+	// strands its users, and — when the failure is attributable to a
+	// position — the server behind it is queued for eviction.
+	dead := make(map[int]bool)
+	noteDead := func(errs []error) {
+		for c, err := range errs {
+			if err == nil {
+				continue
+			}
+			if !dead[c] {
+				dead[c] = true
+				report.DeadChains = append(report.DeadChains, c)
+			}
+			n.attributeHopError(topo, err)
+		}
+	}
+	noteDead(announceEach(chains, rho))
+	noteDead(announceEach(chains, rho+1))
 
 	// Stage 1: build. Fan the per-user onion construction out over
 	// the worker pool against an immutable parameter snapshot.
-	snap, err := n.snapshotParams(rho)
+	snap, err := snapshotParams(chains, rho, dead)
 	if err != nil {
 		return nil, err
 	}
-	batches, covered, err := n.buildBatches(rho, snap)
+	batches, covered, skipped, err := n.buildBatches(rho, snap, len(chains), dead)
 	if err != nil {
 		return nil, err
 	}
@@ -613,7 +783,7 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	}
 
 	failedChains := make(map[int]bool)
-	for _, c := range n.topo.FailedChains(failed) {
+	for _, c := range topo.FailedChains(failed) {
 		failedChains[c] = true
 		report.FailedChains = append(report.FailedChains, c)
 	}
@@ -624,16 +794,16 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		res *mix.RoundResult
 		err error
 	}
-	outcomes := make([]chainOutcome, len(n.chains))
+	outcomes := make([]chainOutcome, len(chains))
 	var wg sync.WaitGroup
-	for c := range n.chains {
-		if failedChains[c] {
+	for c := range chains {
+		if failedChains[c] || dead[c] {
 			continue
 		}
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			res, err := n.chains[c].RunRound(rho, client.LaneCurrent, batches[c].subs)
+			res, err := chains[c].RunRound(rho, client.LaneCurrent, batches[c].subs)
 			outcomes[c] = chainOutcome{res: res, err: err}
 		}(c)
 	}
@@ -643,17 +813,33 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	// (cheap), removals touch only the convicted user's shard, and
 	// deliveries stream to the mailbox cluster concurrently per
 	// chain — the cluster shards its own locks by server.
-	for c := range n.chains {
-		if !failedChains[c] && outcomes[c].err != nil {
+	for c := range chains {
+		if !failedChains[c] && !dead[c] && outcomes[c].err != nil {
 			reopenExternals()
 			return nil, fmt.Errorf("core: chain %d: %w", c, outcomes[c].err)
+		}
+	}
+	// stranded collects everyone whose traffic rode a chain that did
+	// not deliver this round: skipped at build (dead chain among their
+	// ℓ), or batched onto a failed, dead or halted chain. They get
+	// ErrRoundRetry from StrandedError rather than a silent drop.
+	stranded := make(map[string]bool)
+	for _, who := range skipped {
+		stranded[who] = true
+	}
+	strandChain := func(c int) {
+		for _, who := range batches[c].submitters {
+			if !strings.HasPrefix(who, "injected:") {
+				stranded[who] = true
+			}
 		}
 	}
 	var deliverWG sync.WaitGroup
 	var delivered atomic.Int64
 	var convicted []string
-	for c := range n.chains {
-		if failedChains[c] {
+	for c := range chains {
+		if failedChains[c] || dead[c] {
+			strandChain(c)
 			continue
 		}
 		res := outcomes[c].res
@@ -661,9 +847,15 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		report.BlameRounds += res.BlameRounds
 		if res.Halted {
 			report.HaltedChains = append(report.HaltedChains, c)
+			strandChain(c)
 		}
 		for _, s := range res.BlamedServers {
 			report.BlamedServers = append(report.BlamedServers, [2]int{c, s})
+			if n.cfg.Recover && s >= 0 && s < len(topo.Chains[c]) {
+				n.mu.Lock()
+				n.pendingEvict[topo.Chains[c][s]] = true
+				n.mu.Unlock()
+			}
 		}
 		for _, idx := range res.BlamedUsers {
 			who := batches[c].submitters[idx]
@@ -683,6 +875,19 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	deliverWG.Wait()
 	report.Delivered = int(delivered.Load())
 
+	// Convicted users are removed, not stranded: there is no honest
+	// retry for them.
+	for _, who := range convicted {
+		delete(stranded, who)
+	}
+	if len(stranded) > 0 {
+		report.Stranded = make([]string, 0, len(stranded))
+		for who := range stranded {
+			report.Stranded = append(report.Stranded, who)
+		}
+		sort.Strings(report.Stranded)
+	}
+
 	n.mu.Lock()
 	// Ban convicted identifiers at the transport layer too: external
 	// users have no registry entry for markRemoved to flip, so the
@@ -692,10 +897,24 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		n.banned[who] = true
 		delete(n.externals, who)
 	}
+	if len(stranded) > 0 {
+		n.stranded[rho] = stranded
+	}
+	for r := range n.stranded {
+		if r+strandedRetention <= rho {
+			delete(n.stranded, r)
+		}
+	}
 	n.round = rho + 1
 	next := n.round + 1
 	n.mu.Unlock()
-	if err := n.announce(next); err != nil {
+	trailing := announceEach(chains, next)
+	for _, e := range trailing {
+		if e != nil {
+			n.attributeHopError(topo, e)
+		}
+	}
+	if err := errors.Join(trailing...); err != nil {
 		// The executed round is complete and its report valid; what
 		// failed is announcing round next's keys — typically a remote
 		// hop that died (its chain halted above). Return both so the

@@ -172,10 +172,10 @@ func (c *Chain) BeginRound(round uint64) error {
 	for i, h := range c.hops {
 		ipk, proof, err := h.BeginRound(round)
 		if err != nil {
-			return fmt.Errorf("mix: chain %d: inner key of server %d: %w", c.ID, i, err)
+			return &HopError{Chain: c.ID, Position: i, Err: fmt.Errorf("inner key: %w", err)}
 		}
 		if err := nizk.VerifyDlog(innerKeyContext(c.ID, i, round), group.Generator(), ipk, proof); err != nil {
-			return fmt.Errorf("mix: chain %d: inner key proof of server %d: %w", c.ID, i, err)
+			return &HopError{Chain: c.ID, Position: i, Err: fmt.Errorf("inner key proof: %w", err)}
 		}
 		ipks[i] = ipk
 		agg = agg.Add(ipk)

@@ -113,6 +113,22 @@ type Hop interface {
 	Accuse(round uint64, msg int, key group.Point) (AccuseReveal, error)
 }
 
+// HopError attributes a hop failure to its chain position. The chain
+// wraps transport and verification failures from per-position calls
+// in it so an orchestrator can translate the position into a server
+// identity — the input the eviction step of epoch recovery needs.
+type HopError struct {
+	Chain    int
+	Position int
+	Err      error
+}
+
+func (e *HopError) Error() string {
+	return fmt.Sprintf("mix: chain %d position %d: %v", e.Chain, e.Position, e.Err)
+}
+
+func (e *HopError) Unwrap() error { return e.Err }
+
 // localHop adapts an in-process *Server to the Hop interface. It is
 // the zero-copy default: batches pass by reference, nothing is
 // serialised.

@@ -73,12 +73,31 @@ func DialHop(addr string, tlsCfg *tls.Config) *HopClient {
 // Close releases all pooled connections.
 func (h *HopClient) Close() error { h.pool.close(); return nil }
 
+// SetConnWrapper installs a wrapper applied to every connection the
+// client dials from now on — the fault-injection hook (a
+// faults.Injector.Wrapper value). nil removes the wrapper; already
+// pooled connections are unaffected.
+func (h *HopClient) SetConnWrapper(w func(net.Conn) net.Conn) {
+	h.pool.mu.Lock()
+	h.pool.wrap = w
+	h.pool.mu.Unlock()
+}
+
 // Init binds the remote process to chain position (chain, index) with
 // key base `base` and fetches its published keys. Idempotent against
 // the same binding, so a restarted gateway can re-run setup.
 func (h *HopClient) Init(chain, index int, base group.Point) (mix.HopKeys, error) {
+	return h.InitEpoch(0, chain, index, base)
+}
+
+// InitEpoch is Init for a given epoch. A higher epoch supersedes the
+// hop's previous binding: after an eviction the orchestrator re-forms
+// chains and re-initialises each surviving process in place, with
+// fresh keys at its new position.
+func (h *HopClient) InitEpoch(epoch uint64, chain, index int, base group.Point) (mix.HopKeys, error) {
 	var w HopKeysResponse
-	if err := h.call("hop.init", HopInitRequest{Chain: chain, Index: index, Base: base.Bytes()}, &w, h.CallTimeout); err != nil {
+	req := HopInitRequest{Epoch: epoch, Chain: chain, Index: index, Base: base.Bytes()}
+	if err := h.call("hop.init", req, &w, h.CallTimeout); err != nil {
 		return mix.HopKeys{}, err
 	}
 	if w.Chain != chain || w.Index != index {
@@ -306,6 +325,7 @@ type connPool struct {
 
 	mu     sync.Mutex
 	closed bool
+	wrap   func(net.Conn) net.Conn
 	free   []pooledConn
 }
 
@@ -332,6 +352,7 @@ func (p *connPool) get() (net.Conn, error) {
 		fresh = pc.conn
 		break
 	}
+	wrap := p.wrap
 	p.mu.Unlock()
 	for _, c := range stale {
 		c.Close()
@@ -339,7 +360,19 @@ func (p *connPool) get() (net.Conn, error) {
 	if fresh != nil {
 		return fresh, nil
 	}
-	return tls.Dial("tcp", p.addr, p.tlsCfg)
+	c, err := tls.Dial("tcp", p.addr, p.tlsCfg)
+	if err != nil {
+		return nil, err
+	}
+	if wrap != nil {
+		c2 := wrap(c)
+		if c2 == nil {
+			c.Close()
+			return nil, errors.New("rpc: connection wrapper returned nil")
+		}
+		return c2, nil
+	}
+	return c, nil
 }
 
 func (p *connPool) put(conn net.Conn) {

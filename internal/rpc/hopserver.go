@@ -85,11 +85,14 @@ func (h *HopServer) handle(method string, body []byte) ([]byte, error) {
 		if err := decode(body, &req); err != nil {
 			return nil, err
 		}
-		if h.bound != nil {
+		if h.bound != nil && req.Epoch == h.bound.Epoch {
 			if h.bound.Chain != req.Chain || h.bound.Index != req.Index || !bytes.Equal(h.bound.Base, req.Base) {
-				return nil, fmt.Errorf("rpc: hop already bound to chain %d position %d", h.bound.Chain, h.bound.Index)
+				return nil, fmt.Errorf("rpc: hop already bound to chain %d position %d in epoch %d", h.bound.Chain, h.bound.Index, h.bound.Epoch)
 			}
 			return encode(hopKeysToWire(h.srv.Keys()))
+		}
+		if h.bound != nil && req.Epoch < h.bound.Epoch {
+			return nil, fmt.Errorf("rpc: hop serving epoch %d, refusing rebind to stale epoch %d", h.bound.Epoch, req.Epoch)
 		}
 		if req.Index < 0 || req.Chain < 0 {
 			return nil, fmt.Errorf("rpc: invalid chain position %d:%d", req.Chain, req.Index)
@@ -98,8 +101,11 @@ func (h *HopServer) handle(method string, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("rpc: hop base point: %w", err)
 		}
+		// Fresh bind, or an epoch advance: the chain was re-formed, so
+		// the old position, keys and any half-staged round are gone.
 		h.srv = mix.NewChainServer(req.Chain, req.Index, base, h.scheme)
 		h.bound = &req
+		h.stage, h.mixed = nil, nil
 		return encode(hopKeysToWire(h.srv.Keys()))
 
 	case "hop.begin":

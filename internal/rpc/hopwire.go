@@ -41,8 +41,12 @@ type WireEnvelope struct {
 // HopInitRequest binds a hop process to a chain position: the hop
 // generates its long-term keys chained off Base (bpk_{i-1}, or g for
 // position 0) and publishes them. Re-sending the same binding is
-// idempotent; a conflicting one is refused.
+// idempotent; a conflicting one at the same epoch is refused, and a
+// higher Epoch rebinds the hop in place with fresh keys (chain
+// re-formation after an eviction). Gob decodes an absent Epoch as 0,
+// so pre-epoch orchestrators keep working.
 type HopInitRequest struct {
+	Epoch uint64
 	Chain int
 	Index int
 	Base  []byte

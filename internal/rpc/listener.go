@@ -46,10 +46,20 @@ type listenerCore struct {
 	// handle dispatches one decoded request.
 	handle func(method string, body []byte) ([]byte, error)
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	wrapConn func(net.Conn) net.Conn
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+}
+
+// SetConnWrapper installs a wrapper applied to every subsequently
+// accepted connection — the fault-injection hook (a
+// faults.Injector.Wrapper value). nil removes the wrapper.
+func (s *listenerCore) SetConnWrapper(w func(net.Conn) net.Conn) {
+	s.mu.Lock()
+	s.wrapConn = w
+	s.mu.Unlock()
 }
 
 // newListenerCore starts a TLS listener on addr with a fresh
@@ -123,6 +133,9 @@ func (s *listenerCore) acceptLoop() {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()

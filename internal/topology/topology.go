@@ -63,8 +63,15 @@ func CompromiseProbability(f float64, n, k int) float64 {
 
 // Config describes how to build a topology.
 type Config struct {
-	// NumServers is N, the number of mix servers.
+	// NumServers is N, the number of mix servers. Ignored when
+	// Servers is set.
 	NumServers int
+	// Servers, if non-nil, lists the explicit server identities to
+	// sample chains from, in place of the contiguous 0..NumServers-1.
+	// Epoch re-formation after evictions uses this: the surviving
+	// server set keeps its original ids (which name hop transports)
+	// even though it is no longer contiguous.
+	Servers []int
 	// NumChains is n; the paper sets n = N (§5.2.1). Zero means N.
 	NumChains int
 	// F is the assumed fraction of malicious servers (paper default
@@ -88,6 +95,9 @@ type Topology struct {
 	NumServers int
 	// ChainLength is k.
 	ChainLength int
+	// Servers lists the participating server ids; contiguous
+	// 0..N-1 for a fresh deployment, a sparse subset after evictions.
+	Servers []int
 	// Chains[c][p] is the server occupying position p of chain c.
 	Chains [][]int
 }
@@ -138,12 +148,20 @@ func (p *prg) intn(n int) int {
 // Build samples the topology from cfg. All participants given the
 // same cfg compute the same topology.
 func Build(cfg Config) (*Topology, error) {
-	if cfg.NumServers < 1 {
-		return nil, fmt.Errorf("topology: need at least one server, got %d", cfg.NumServers)
+	servers := cfg.Servers
+	if len(servers) == 0 {
+		if cfg.NumServers < 1 {
+			return nil, fmt.Errorf("topology: need at least one server, got %d", cfg.NumServers)
+		}
+		servers = make([]int, cfg.NumServers)
+		for i := range servers {
+			servers[i] = i
+		}
 	}
+	N := len(servers)
 	n := cfg.NumChains
 	if n == 0 {
-		n = cfg.NumServers
+		n = N
 	}
 	bits := cfg.SecurityBits
 	if bits == 0 {
@@ -156,22 +174,30 @@ func Build(cfg Config) (*Topology, error) {
 		}
 		k = ChainLength(cfg.F, n, bits)
 	}
-	if k > cfg.NumServers {
+	if k > N {
 		// Chains sample distinct servers; with very few servers the
 		// anytrust target is unreachable and the caller must lower λ
 		// or raise N. We cap k at N and report it so small test
 		// deployments still work explicitly via the override.
-		return nil, fmt.Errorf("topology: chain length k=%d exceeds server count N=%d; use ChainLengthOverride for small deployments", k, cfg.NumServers)
+		return nil, fmt.Errorf("topology: chain length k=%d exceeds server count N=%d; use ChainLengthOverride for small deployments", k, N)
 	}
 
+	// Sample and stagger in dense index space [0, N), then translate
+	// indices to server ids: id sets with holes (post-eviction
+	// epochs) sample with the exact same distribution as fresh ones.
 	r := newPRG(cfg.Seed, "xrd/topology/v1")
 	chains := make([][]int, n)
 	for c := range chains {
-		chains[c] = sampleDistinct(r, cfg.NumServers, k)
+		chains[c] = sampleDistinct(r, N, k)
 	}
-	t := &Topology{NumServers: cfg.NumServers, ChainLength: k, Chains: chains}
+	t := &Topology{NumServers: N, ChainLength: k, Servers: append([]int(nil), servers...), Chains: chains}
 	if !cfg.DisableStaggering {
 		t.stagger()
+	}
+	for _, members := range t.Chains {
+		for p, idx := range members {
+			members[p] = servers[idx]
+		}
 	}
 	return t, nil
 }
@@ -201,7 +227,8 @@ func sampleDistinct(r *prg, n, k int) []int {
 // many chains occupies different positions in them, minimising idle
 // time (§5.2.1). Ordering within a chain has no security impact.
 // Greedy assignment: fill each position with the member that has used
-// that position least so far.
+// that position least so far. Runs while Chains still holds dense
+// indices in [0, NumServers), before Build translates them to ids.
 func (t *Topology) stagger() {
 	k := t.ChainLength
 	// positionUse[s][p] counts how often server s already holds
