@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Compare checks a fresh benchmark report against a baseline and
+// writes one line per shared benchmark carrying the watched metric.
+// A drop of more than threshold (fraction, e.g. 0.20) is flagged with
+// a "::warning::" prefix — the GitHub Actions annotation syntax — so
+// CI surfaces regressions on the run page without failing the build:
+// the bench job runs on shared runners whose absolute numbers are too
+// noisy for a hard gate, but a 20% drop in users/s is worth a human
+// look.
+//
+// Benchmarks present on only one side are reported informationally;
+// higher is assumed better for the watched metric (throughput-shaped,
+// like users/s or subs/s).
+//
+// The baseline may span several archives (given oldest first): each
+// benchmark's reference value comes from the newest archive that
+// carries it, so a loadgen-only archive does not eclipse the
+// microbenchmark lineage in an older one.
+func Compare(w io.Writer, oldPaths []string, newPath, metric string, threshold float64) (regressions int, err error) {
+	base := make(map[string]float64)
+	var baseOrder []string
+	for _, p := range oldPaths {
+		oldRep, err := loadReport(p)
+		if err != nil {
+			return 0, err
+		}
+		for _, b := range oldRep.Benchmarks {
+			if v, ok := b.Metrics[metric]; ok && v > 0 {
+				if _, dup := base[b.Name]; !dup {
+					baseOrder = append(baseOrder, b.Name)
+				}
+				base[b.Name] = v
+			}
+		}
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[string]bool)
+	for _, b := range newRep.Benchmarks {
+		v, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		seen[b.Name] = true
+		old, ok := base[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: %s=%.1f (no baseline)\n", b.Name, metric, v)
+			continue
+		}
+		change := (v - old) / old
+		line := fmt.Sprintf("%s: %s %.1f -> %.1f (%+.1f%%)", b.Name, metric, old, v, 100*change)
+		if change < -threshold {
+			regressions++
+			fmt.Fprintf(w, "::warning title=bench regression::%s exceeds the %.0f%% threshold\n", line, 100*threshold)
+		} else {
+			fmt.Fprintf(w, "benchjson: %s\n", line)
+		}
+	}
+	for _, name := range baseOrder {
+		if !seen[name] {
+			fmt.Fprintf(w, "benchjson: %s: dropped from this run (baseline %s=%.1f)\n", name, metric, base[name])
+		}
+	}
+	return regressions, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		{Name: "LoadgenRound/a", Metrics: map[string]float64{"users/s": 1000}},
+		{Name: "LoadgenRegister/a", Metrics: map[string]float64{"users/s": 500}},
+		{Name: "Gone/x", Metrics: map[string]float64{"users/s": 42}},
+		{Name: "NoMetric", Metrics: map[string]float64{"ns/op": 9}},
+	}})
+	fresh := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		{Name: "LoadgenRound/a", Metrics: map[string]float64{"users/s": 700}},    // -30%: regression
+		{Name: "LoadgenRegister/a", Metrics: map[string]float64{"users/s": 450}}, // -10%: fine
+		{Name: "New/y", Metrics: map[string]float64{"users/s": 5}},               // no baseline
+	}})
+
+	var out strings.Builder
+	n, err := Compare(&out, []string{old}, fresh, "users/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", n, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"::warning title=bench regression::LoadgenRound/a",
+		"LoadgenRegister/a: users/s 500.0 -> 450.0 (-10.0%)",
+		"New/y: users/s=5.0 (no baseline)",
+		"Gone/x: dropped from this run",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "NoMetric") {
+		t.Errorf("benchmarks without the watched metric should be ignored:\n%s", got)
+	}
+}
+
+func TestCompareLayeredBaselines(t *testing.T) {
+	dir := t.TempDir()
+	old1 := writeReport(t, dir, "old1.json", &Report{Benchmarks: []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"users/s": 1000}},
+		{Name: "B", Metrics: map[string]float64{"users/s": 200}},
+	}})
+	old2 := writeReport(t, dir, "old2.json", &Report{Benchmarks: []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"users/s": 100}}, // newer archive wins for B
+	}})
+	fresh := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"users/s": 900}}, // -10% vs old1: fine
+		{Name: "B", Metrics: map[string]float64{"users/s": 50}},  // -50% vs old2: regression
+	}})
+	var out strings.Builder
+	n, err := Compare(&out, []string{old1, old2}, fresh, "users/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "B: users/s 100.0 -> 50.0") {
+		t.Errorf("B should compare against the newest baseline:\n%s", out.String())
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"users/s": 100}},
+	}})
+	fresh := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"users/s": 81}},
+	}})
+	var out strings.Builder
+	n, err := Compare(&out, []string{old}, fresh, "users/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("19%% drop should be within a 20%% threshold:\n%s", out.String())
+	}
+}

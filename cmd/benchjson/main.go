@@ -4,6 +4,14 @@
 // instead of scrolling away in build logs.
 //
 //	go test -run '^$' -bench . -benchtime=1x ./... | benchjson -o BENCH_ci.json
+//
+// With -compare it instead diffs a fresh report (the last argument)
+// against one or more baseline archives (oldest first; per benchmark
+// the newest baseline carrying it wins) and warns (in GitHub Actions
+// annotation syntax) when the watched throughput metric regressed
+// past -threshold:
+//
+//	benchjson -compare -metric users/s -threshold 0.20 BENCH_0001.json BENCH_0002.json BENCH_ci.json
 package main
 
 import (
@@ -16,7 +24,25 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare archived reports: benchjson -compare OLD.json [OLD2.json ...] NEW.json")
+	metric := flag.String("metric", "users/s", "metric to watch in -compare mode")
+	threshold := flag.Float64("threshold", 0.20, "relative drop in -compare mode that triggers a warning")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() < 2 {
+			log.Fatal("benchjson: -compare wants baseline(s) then the fresh report: OLD.json [OLD2.json ...] NEW.json")
+		}
+		args := flag.Args()
+		n, err := Compare(os.Stdout, args[:len(args)-1], args[len(args)-1], *metric, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past the %.0f%% threshold\n", n, 100**threshold)
+		}
+		return
+	}
 
 	report, err := Parse(os.Stdin)
 	if err != nil {

@@ -1,16 +1,31 @@
-// Command xrd-client is a demonstration client for a running
-// xrd-server: it creates two local users, connects them to the
-// gateway over TLS, exchanges a message through the mix network and
-// prints the decrypted result.
+// Command xrd-client is a demonstration client for a running XRD
+// deployment: it creates two local users, connects them to the
+// gateway front end over TLS, exchanges a message through the mix
+// network and prints the decrypted result.
+//
+// Against a monolithic deployment (one coordinator serving users
+// directly) one address is enough:
 //
 //	xrd-client -addr 127.0.0.1:7900 -cert xrd-gateway.pem -msg "hello"
+//
+// Against a sharded front end, -gateways lists every gateway shard as
+// "addr=certfile,..." and -addr names the coordinator (which drives
+// rounds but no longer hosts users). The client discovers which
+// gateway owns each user's mailbox from the gateways' status
+// endpoints, and retries the next gateway when one fails at the
+// transport level (refused connection, deadline):
+//
+//	xrd-client -addr 127.0.0.1:7900 -cert xrd-gateway.pem \
+//	    -gateways "127.0.0.1:7911=gw1.pem,127.0.0.1:7912=gw2.pem" -msg "hello"
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/chainsel"
 	"repro/internal/client"
@@ -20,30 +35,22 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7900", "gateway address")
-		cert    = flag.String("cert", "xrd-gateway.pem", "gateway certificate (from xrd-server -cert-out)")
-		msg     = flag.String("msg", "hello from xrd-client", "message Alice sends Bob")
-		trigger = flag.Bool("trigger-only", false, "trigger one round without submitting (advances a halted deployment so it can re-form)")
+		addr     = flag.String("addr", "127.0.0.1:7900", "coordinator address (drives rounds; serves users when monolithic)")
+		cert     = flag.String("cert", "xrd-gateway.pem", "coordinator certificate (from xrd-server -cert-out)")
+		gateways = flag.String("gateways", "", `gateway shards as "addr=certfile,..." (empty: users talk to -addr directly)`)
+		msg      = flag.String("msg", "hello from xrd-client", "message Alice sends Bob")
+		cross    = flag.Bool("cross-shard", false, "place Alice and Bob on different gateway shards (needs >= 2 -gateways)")
+		trigger  = flag.Bool("trigger-only", false, "trigger one round without submitting (advances a halted deployment so it can re-form)")
 	)
 	flag.Parse()
 
-	pem, err := os.ReadFile(*cert)
-	if err != nil {
-		log.Fatalf("reading certificate: %v", err)
-	}
-	tlsCfg, err := rpc.ClientTLSFromPEM(pem)
+	endpoints, err := parseEndpoints(*addr, *cert, *gateways)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dial := func() *rpc.Client {
-		c, err := rpc.Dial(*addr, tlsCfg)
-		if err != nil {
-			log.Fatalf("dialing gateway: %v", err)
-		}
-		return c
-	}
+
 	if *trigger {
-		driver := dial()
+		driver := dialCoordinator(*addr, *cert)
 		defer driver.Close()
 		rep, err := driver.RunRound()
 		if err != nil {
@@ -53,17 +60,23 @@ func main() {
 		return
 	}
 
-	aliceConn, bobConn, driver := dial(), dial(), dial()
-	defer aliceConn.Close()
-	defer bobConn.Close()
+	front, err := rpc.NewMultiClient(endpoints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	if err := front.Refresh(); err != nil {
+		log.Fatalf("discovering gateways: %v", err)
+	}
+	driver := dialCoordinator(*addr, *cert)
 	defer driver.Close()
 
-	st, err := driver.Status()
+	st, err := front.Status()
 	if err != nil {
 		log.Fatalf("status: %v", err)
 	}
-	fmt.Printf("deployment: round %d, %d chains of %d, l=%d\n",
-		st.Round, st.NumChains, st.ChainLength, st.L)
+	fmt.Printf("deployment: round %d, %d chains of %d, l=%d, %d gateway(s)\n",
+		st.Round, st.NumChains, st.ChainLength, st.L, len(endpoints))
 
 	// Chain selection is publicly computable from the chain count.
 	plan, err := chainsel.NewPlan(st.NumChains)
@@ -72,6 +85,18 @@ func main() {
 	}
 	alice := client.NewUser(nil, plan)
 	bob := client.NewUser(nil, plan)
+	if *cross {
+		// Mailbox placement follows the (random) key, so draw users
+		// until the pair provably spans two gateways.
+		for tries := 0; front.ClientFor(alice.Mailbox()) == front.ClientFor(bob.Mailbox()); tries++ {
+			if tries > 1000 {
+				log.Fatal("-cross-shard: could not place users on different gateways (is more than one gateway configured?)")
+			}
+			bob = client.NewUser(nil, plan)
+		}
+		fmt.Printf("cross-shard: alice on %s, bob on %s\n",
+			front.ClientFor(alice.Mailbox()).Addr(), front.ClientFor(bob.Mailbox()).Addr())
+	}
 	if err := alice.StartConversation(bob.PublicKey()); err != nil {
 		log.Fatal(err)
 	}
@@ -83,18 +108,18 @@ func main() {
 	}
 
 	round := st.Round
-	outA, err := alice.BuildRound(round, aliceConn)
+	outA, err := alice.BuildRound(round, front)
 	if err != nil {
 		log.Fatalf("alice build: %v", err)
 	}
-	outB, err := bob.BuildRound(round, bobConn)
+	outB, err := bob.BuildRound(round, front)
 	if err != nil {
 		log.Fatalf("bob build: %v", err)
 	}
-	if err := aliceConn.Submit(alice.Mailbox(), outA); err != nil {
+	if err := front.Submit(alice.Mailbox(), outA); err != nil {
 		log.Fatalf("alice submit: %v", err)
 	}
-	if err := bobConn.Submit(bob.Mailbox(), outB); err != nil {
+	if err := front.Submit(bob.Mailbox(), outB); err != nil {
 		log.Fatalf("bob submit: %v", err)
 	}
 	fmt.Printf("submitted %d+%d messages (current + covers) per user; triggering round...\n",
@@ -106,7 +131,7 @@ func main() {
 	}
 	fmt.Printf("round %d executed: %d messages delivered\n", rep.Round, rep.Delivered)
 
-	msgs, err := bobConn.Fetch(rep.Round, bob.Mailbox())
+	msgs, err := front.Fetch(rep.Round, bob.Mailbox())
 	if err != nil {
 		log.Fatalf("fetch: %v", err)
 	}
@@ -121,4 +146,50 @@ func main() {
 		}
 	}
 	log.Fatal("conversation message not delivered")
+}
+
+// parseEndpoints builds the user-facing gateway set: the -gateways
+// list when given, else the coordinator itself (monolith).
+func parseEndpoints(coordAddr, coordCert, gateways string) ([]rpc.Endpoint, error) {
+	specs := [][2]string{}
+	if strings.TrimSpace(gateways) == "" {
+		specs = append(specs, [2]string{coordAddr, coordCert})
+	} else {
+		for _, entry := range strings.Split(gateways, ",") {
+			parts := strings.Split(strings.TrimSpace(entry), "=")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf(`-gateways entry %q: want "addr=certfile"`, entry)
+			}
+			specs = append(specs, [2]string{parts[0], parts[1]})
+		}
+	}
+	var eps []rpc.Endpoint
+	for _, s := range specs {
+		tlsCfg, err := loadTLS(s[1])
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, rpc.Endpoint{Addr: s[0], TLS: tlsCfg})
+	}
+	return eps, nil
+}
+
+func loadTLS(certFile string) (*tls.Config, error) {
+	pem, err := os.ReadFile(certFile)
+	if err != nil {
+		return nil, fmt.Errorf("reading certificate %s: %w", certFile, err)
+	}
+	return rpc.ClientTLSFromPEM(pem)
+}
+
+func dialCoordinator(addr, certFile string) *rpc.Client {
+	tlsCfg, err := loadTLS(certFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := rpc.Dial(addr, tlsCfg)
+	if err != nil {
+		log.Fatalf("dialing coordinator: %v", err)
+	}
+	return c
 }

@@ -1,0 +1,168 @@
+package main
+
+// Shared flag-parsing and wiring helpers used by every role. All
+// remote-process flags use the same "key=addr=certfile" shape:
+//
+//	-hops         chain:pos=addr=certfile,...   (coordinator → mix, coordinate-keyed)
+//	-mix-servers  id=addr=certfile,...          (coordinator → mix, identity-keyed)
+//	-gateways     lo:hi=addr=certfile,...       (coordinator → gateway shard)
+//
+// and every certfile is the pinned TLS certificate the target process
+// wrote with its own -cert-out (the paper's assumed PKI, modelled as
+// files).
+
+import (
+	"crypto/tls"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/rpc"
+)
+
+// hopSpec locates one remote process: its address and pinned cert.
+type hopSpec struct {
+	addr     string
+	certFile string
+}
+
+// loadClientTLS reads a process's pinned certificate file into a TLS
+// config that trusts exactly that certificate.
+func loadClientTLS(certFile string) (*tls.Config, error) {
+	pem, err := os.ReadFile(certFile)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", certFile, err)
+	}
+	return rpc.ClientTLSFromPEM(pem)
+}
+
+// dialSpec opens a hop client for one remote mix process, pinning its
+// certificate and installing the fault-injection wrapper when one is
+// configured.
+func dialSpec(spec hopSpec, label string, inj *faults.Injector) (*rpc.HopClient, error) {
+	tlsCfg, err := loadClientTLS(spec.certFile)
+	if err != nil {
+		return nil, err
+	}
+	hc := rpc.DialHop(spec.addr, tlsCfg)
+	if inj != nil {
+		hc.SetConnWrapper(inj.Wrapper(label))
+	}
+	return hc, nil
+}
+
+// splitSpec splits one "key=addr=certfile" entry.
+func splitSpec(entry, shape string) (key, addr, certFile string, err error) {
+	parts := strings.Split(strings.TrimSpace(entry), "=")
+	if len(parts) != 3 {
+		return "", "", "", fmt.Errorf("entry %q: want %s", entry, shape)
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+// parseIntPair splits "a:b" into two ints.
+func parseIntPair(s, what string) (int, int, error) {
+	halves := strings.Split(s, ":")
+	if len(halves) != 2 {
+		return 0, 0, fmt.Errorf("%q is not %s", s, what)
+	}
+	a, err := strconv.Atoi(halves[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("%q: %w", s, err)
+	}
+	b, err := strconv.Atoi(halves[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("%q: %w", s, err)
+	}
+	return a, b, nil
+}
+
+// parseHopSpecs parses "chain:pos=addr=certfile,..." into a position
+// map.
+func parseHopSpecs(s string) (map[[2]int]hopSpec, error) {
+	out := make(map[[2]int]hopSpec)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		key, addr, certFile, err := splitSpec(entry, "chain:pos=addr=certfile")
+		if err != nil {
+			return nil, err
+		}
+		chain, pos, err := parseIntPair(key, "chain:pos")
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", entry, err)
+		}
+		k := [2]int{chain, pos}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("position %d:%d listed twice", chain, pos)
+		}
+		out[k] = hopSpec{addr: addr, certFile: certFile}
+	}
+	return out, nil
+}
+
+// parseServerSpecs parses "id=addr=certfile,..." into a server
+// identity map.
+func parseServerSpecs(s string) (map[int]hopSpec, error) {
+	out := make(map[int]hopSpec)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		key, addr, certFile, err := splitSpec(entry, "id=addr=certfile")
+		if err != nil {
+			return nil, err
+		}
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: server id: %w", entry, err)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("server %d listed twice", id)
+		}
+		out[id] = hopSpec{addr: addr, certFile: certFile}
+	}
+	return out, nil
+}
+
+// gatewaySpec locates one gateway shard process and the registry
+// range it owns.
+type gatewaySpec struct {
+	lo, hi int
+	hopSpec
+}
+
+// parseGatewaySpecs parses "lo:hi=addr=certfile,..." into shard
+// specs; range validity (partitioning) is checked by core.
+func parseGatewaySpecs(s string) ([]gatewaySpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []gatewaySpec
+	for _, entry := range strings.Split(s, ",") {
+		key, addr, certFile, err := splitSpec(entry, "lo:hi=addr=certfile")
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := parseIntPair(key, "lo:hi")
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", entry, err)
+		}
+		out = append(out, gatewaySpec{lo: lo, hi: hi, hopSpec: hopSpec{addr: addr, certFile: certFile}})
+	}
+	return out, nil
+}
+
+func writeCert(pemOf func() ([]byte, error), path string) error {
+	pem, err := pemOf()
+	if err != nil {
+		return fmt.Errorf("exporting certificate: %w", err)
+	}
+	if err := os.WriteFile(path, pem, 0o644); err != nil {
+		return fmt.Errorf("writing certificate: %w", err)
+	}
+	return nil
+}

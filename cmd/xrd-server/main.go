@@ -1,42 +1,55 @@
-// Command xrd-server runs one process of an XRD deployment. Two
+// Command xrd-server runs one process of an XRD deployment. Three
 // roles:
 //
-// Role "gateway" (default) assembles the deployment — mix chains,
-// mailbox cluster, round driver (Figure 1) — and serves remote users
-// (xrd-client) over TLS. Chain positions listed in -hops are not
-// hosted in-process: the gateway drives them over the hop transport,
-// so a deployment can span N processes and machines.
+// Role "coordinator" (default) assembles the deployment — mix chains,
+// chain-selection plan, round driver (Figure 1) — and drives one
+// logical round per interval (or per client trigger). With no
+// -gateways it also hosts the entire user base in-process: the
+// single-machine monolith. With -gateways the user base lives in
+// separate gateway-shard processes, each owning a contiguous slice of
+// the 64-shard registry, and the coordinator fans each round out to
+// them (begin/batch/deliver/finish; see internal/core/shard.go).
+//
+// Role "gateway" hosts one gateway shard: registration, submission
+// intake, cover banking and mailbox storage for the users whose
+// mailbox identifiers hash into its -shard-range. It serves users
+// (xrd-client, xrd-loadgen) and its coordinator on one TLS listener,
+// and learns the epoch/round/parameters from the coordinator.
 //
 // Role "mix" hosts a single mix server at one chain position. It
-// starts keyless and unbound; the gateway binds it to its position
-// (and supplies the base its keys chain off) during setup. Which
-// position it serves is decided by the gateway's -hops or
+// starts keyless and unbound; the coordinator binds it to its
+// position (and supplies the base its keys chain off) during setup.
+// Which position it serves is decided by the coordinator's -hops or
 // -mix-servers flag.
 //
 // -hops keys remote processes by chain coordinate ("chain:pos=...").
 // -mix-servers keys them by server identity ("id=...") instead, which
-// is what epoch recovery needs: after a halt the gateway evicts the
-// blamed server, re-forms the chains from the survivors and re-binds
-// each surviving process at its new coordinate — only a stable
-// identity survives that re-shuffle. -mix-servers therefore enables
-// recovery (-recover) by default.
+// is what epoch recovery needs: after a halt the coordinator evicts
+// the blamed server, re-forms the chains from the survivors and
+// re-binds each surviving process at its new coordinate — only a
+// stable identity survives that re-shuffle. -mix-servers therefore
+// enables recovery (-recover) by default.
 //
 // Every process writes its pinned TLS certificate to -cert-out (the
 // paper's assumed PKI distributes server identities; the files play
-// that role here): clients pin the gateway's, the gateway pins each
-// mix process's.
+// that role here): clients pin the gateways', the coordinator pins
+// each mix and gateway process's.
 //
 //	xrd-server -role mix -addr 127.0.0.1:7901 -cert-out mix1.pem
 //	xrd-server -role mix -addr 127.0.0.1:7902 -cert-out mix2.pem
 //	xrd-server -role mix -addr 127.0.0.1:7903 -cert-out mix3.pem
+//	xrd-server -role gateway -addr 127.0.0.1:7911 -shard-range 0:32 -cert-out gw1.pem
+//	xrd-server -role gateway -addr 127.0.0.1:7912 -shard-range 32:64 -cert-out gw2.pem
 //	xrd-server -addr 127.0.0.1:7900 -servers 3 -chains 1 -k 3 \
-//	    -mix-servers "0=127.0.0.1:7901=mix1.pem,1=127.0.0.1:7902=mix2.pem,2=127.0.0.1:7903=mix3.pem"
+//	    -mix-servers "0=127.0.0.1:7901=mix1.pem,1=127.0.0.1:7902=mix2.pem,2=127.0.0.1:7903=mix3.pem" \
+//	    -gateways "0:32=127.0.0.1:7911=gw1.pem,32:64=127.0.0.1:7912=gw2.pem"
 //
 // -faults injects deterministic connection faults (drops, delays,
 // corruption, partitions — see internal/faults) into the hop
-// transport: on the gateway it wraps every hop connection it dials,
-// on a mix it wraps every connection it accepts. The chaos end-to-end
-// suite drives a live deployment through halts and recovery with it.
+// transport: on the coordinator it wraps every hop connection it
+// dials, on a mix it wraps every connection it accepts. The chaos
+// end-to-end suite drives a live deployment through halts and
+// recovery with it.
 package main
 
 import (
@@ -45,8 +58,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -59,18 +70,21 @@ import (
 
 func main() {
 	var (
-		role       = flag.String("role", "gateway", "process role: gateway (deployment + user API) or mix (one remote chain position)")
+		role       = flag.String("role", "coordinator", "process role: coordinator (chains + round driver), gateway (one user-base shard) or mix (one remote chain position)")
 		addr       = flag.String("addr", "127.0.0.1:7900", "TLS listen address")
 		certOut    = flag.String("cert-out", "xrd-gateway.pem", "file to write the pinned TLS certificate to")
-		servers    = flag.Int("servers", 20, "number of mix servers N")
+		servers    = flag.Int("servers", 20, "number of mix servers N (coordinator)")
 		chains     = flag.Int("chains", 0, "number of chains n (0 means n = N as in the paper)")
 		k          = flag.Int("k", 6, "chain length override (0 derives k from -f)")
 		f          = flag.Float64("f", 0.2, "assumed fraction of malicious servers")
 		seed       = flag.String("seed", "public-beacon", "public randomness seed for chain formation")
-		boxes      = flag.Int("mailboxes", 2, "mailbox server count")
+		boxes      = flag.Int("mailboxes", 2, "mailbox server count (coordinator monolith or gateway shard)")
+		workers    = flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS)")
 		interval   = flag.Duration("interval", 10*time.Second, "round interval (0 = rounds only via client trigger)")
-		hops       = flag.String("hops", "", `remote chain positions as "chain:pos=addr=certfile,..." (gateway role)`)
-		mixServers = flag.String("mix-servers", "", `remote mix processes as "id=addr=certfile,..." keyed by server identity (gateway role; enables -recover)`)
+		hops       = flag.String("hops", "", `remote chain positions as "chain:pos=addr=certfile,..." (coordinator role)`)
+		mixServers = flag.String("mix-servers", "", `remote mix processes as "id=addr=certfile,..." keyed by server identity (coordinator role; enables -recover)`)
+		gateways   = flag.String("gateways", "", `remote gateway shards as "lo:hi=addr=certfile,..." partitioning the 64 registry shards (coordinator role)`)
+		shardRange = flag.String("shard-range", "0:64", `registry-shard range this gateway owns, as "lo:hi" (gateway role)`)
 		recoverOn  = flag.Bool("recover", false, "evict blamed servers and re-form chains after a halt (on by default with -mix-servers)")
 		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "delay,target=srv1,delay=2s,after=3;drop,target=srv2" (see internal/faults)`)
 		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for -faults probability coins")
@@ -87,26 +101,30 @@ func main() {
 	}
 
 	switch *role {
-	case "gateway":
-		runGateway(gatewayOpts{
-			addr:       *addr,
-			certOut:    *certOut,
-			servers:    *servers,
-			chains:     *chains,
-			k:          *k,
-			f:          *f,
-			seed:       *seed,
-			boxes:      *boxes,
-			interval:   *interval,
-			hopSpec:    *hops,
-			serverSpec: *mixServers,
-			recover:    *recoverOn || *mixServers != "",
-			inj:        inj,
+	case "coordinator":
+		runCoordinator(coordinatorOpts{
+			addr:        *addr,
+			certOut:     *certOut,
+			servers:     *servers,
+			chains:      *chains,
+			k:           *k,
+			f:           *f,
+			seed:        *seed,
+			boxes:       *boxes,
+			workers:     *workers,
+			interval:    *interval,
+			hopSpec:     *hops,
+			serverSpec:  *mixServers,
+			gatewaySpec: *gateways,
+			recover:     *recoverOn || *mixServers != "",
+			inj:         inj,
 		})
+	case "gateway":
+		runGatewayShard(*addr, *certOut, *shardRange, *boxes, *workers)
 	case "mix":
 		runMix(*addr, *certOut, inj)
 	default:
-		log.Fatalf("unknown role %q (want gateway or mix)", *role)
+		log.Fatalf("unknown role %q (want coordinator, gateway or mix)", *role)
 	}
 }
 
@@ -123,30 +141,64 @@ func runMix(addr, certOut string, inj *faults.Injector) {
 	if err := writeCert(hs.CertificatePEM, certOut); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("xrd-server[mix]: hop endpoint on %s (certificate in %s), waiting for gateway binding\n", hs.Addr(), certOut)
+	fmt.Printf("xrd-server[mix]: hop endpoint on %s (certificate in %s), waiting for coordinator binding\n", hs.Addr(), certOut)
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	fmt.Println("\nxrd-server[mix]: shutting down")
 }
 
-type gatewayOpts struct {
+// runGatewayShard hosts one gateway front-end shard and waits for its
+// coordinator (shard.init pushes epoch/round/parameters) and users.
+func runGatewayShard(addr, certOut, shardRange string, boxes, workers int) {
+	lo, hi, err := parseIntPair(shardRange, "lo:hi")
+	if err != nil {
+		log.Fatalf("parsing -shard-range: %v", err)
+	}
+	fe, err := core.NewFrontend(core.FrontendConfig{
+		Range:          core.ShardRange{Lo: lo, Hi: hi},
+		MailboxServers: boxes,
+		Workers:        workers,
+	})
+	if err != nil {
+		log.Fatalf("building gateway shard: %v", err)
+	}
+	ss, err := rpc.NewShardServer(fe, addr)
+	if err != nil {
+		log.Fatalf("starting gateway shard: %v", err)
+	}
+	defer ss.Close()
+	if err := writeCert(ss.CertificatePEM, certOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xrd-server[gateway]: shard %d:%d on %s (certificate in %s), waiting for coordinator\n",
+		lo, hi, ss.Addr(), certOut)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nxrd-server[gateway]: shutting down")
+}
+
+type coordinatorOpts struct {
 	addr, certOut   string
 	servers, chains int
 	k               int
 	f               float64
 	seed            string
 	boxes           int
+	workers         int
 	interval        time.Duration
-	hopSpec         string // chain:pos-keyed remotes
-	serverSpec      string // server-identity-keyed remotes
+	hopSpec         string // chain:pos-keyed remote mixes
+	serverSpec      string // server-identity-keyed remote mixes
+	gatewaySpec     string // shard-range-keyed remote gateways
 	recover         bool
 	inj             *faults.Injector
 }
 
-// runGateway assembles the deployment (dialing remote hops first) and
-// serves users.
-func runGateway(o gatewayOpts) {
+// runCoordinator assembles the deployment (dialing remote gateways
+// and hops first), serves users (directly when monolithic), and
+// drives rounds.
+func runCoordinator(o coordinatorOpts) {
 	remotes, err := parseHopSpecs(o.hopSpec)
 	if err != nil {
 		log.Fatalf("parsing -hops: %v", err)
@@ -163,6 +215,10 @@ func runGateway(o gatewayOpts) {
 			log.Fatalf("-mix-servers entry %d is outside the server set 0..%d", id, o.servers-1)
 		}
 	}
+	gwSpecs, err := parseGatewaySpecs(o.gatewaySpec)
+	if err != nil {
+		log.Fatalf("parsing -gateways: %v", err)
+	}
 
 	used := make(map[[2]int]bool)
 	cfg := core.Config{
@@ -172,7 +228,21 @@ func runGateway(o gatewayOpts) {
 		F:                   o.f,
 		Seed:                []byte(o.seed),
 		MailboxServers:      o.boxes,
+		Workers:             o.workers,
 		Recover:             o.recover,
+	}
+	var shardClients []*rpc.ShardClient
+	for _, gs := range gwSpecs {
+		tlsCfg, err := loadClientTLS(gs.certFile)
+		if err != nil {
+			log.Fatalf("-gateways %d:%d: %v", gs.lo, gs.hi, err)
+		}
+		sc, err := rpc.NewShardClient(gs.lo, gs.hi, gs.addr, tlsCfg)
+		if err != nil {
+			log.Fatalf("-gateways %d:%d: %v", gs.lo, gs.hi, err)
+		}
+		shardClients = append(shardClients, sc)
+		cfg.Shards = append(cfg.Shards, sc)
 	}
 	if len(remotes) > 0 {
 		cfg.RemoteHops = func(chain, pos int, base group.Point) (mix.Hop, error) {
@@ -238,18 +308,25 @@ func runGateway(o gatewayOpts) {
 			log.Fatalf("-mix-servers entry %d holds no chain position of this topology", id)
 		}
 	}
+	// Push the founding round/parameter state to every gateway shard
+	// so they can serve clients before the first round.
+	for _, sc := range shardClients {
+		if err := sc.Init(net); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	gw, err := rpc.NewServer(net, o.addr)
 	if err != nil {
-		log.Fatalf("starting gateway: %v", err)
+		log.Fatalf("starting coordinator endpoint: %v", err)
 	}
 	defer gw.Close()
 	if err := writeCert(gw.CertificatePEM, o.certOut); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user, %d remote positions, recover=%v\n",
-		net.NumChains(), net.Topology().ChainLength, net.Plan().L, len(remotes)+len(byServer), o.recover)
+	fmt.Printf("xrd-server: %d chains of %d servers, l=%d chains per user, %d remote positions, %d gateway shards, recover=%v\n",
+		net.NumChains(), net.Topology().ChainLength, net.Plan().L, len(remotes)+len(byServer), len(shardClients), o.recover)
 	fmt.Printf("xrd-server: listening on %s (certificate in %s)\n", gw.Addr(), o.certOut)
 
 	stop := make(chan os.Signal, 1)
@@ -279,9 +356,9 @@ func runGateway(o gatewayOpts) {
 					continue
 				}
 			}
-			fmt.Printf("round %d: epoch=%d delivered=%d halted=%v failed=%v dead=%v stranded=%d blamed-users=%v covered=%d\n",
+			fmt.Printf("round %d: epoch=%d delivered=%d halted=%v failed=%v dead=%v dead-shards=%v stranded=%d blamed-users=%v covered=%d\n",
 				rep.Round, rep.Epoch, rep.Delivered, rep.HaltedChains, rep.FailedChains,
-				rep.DeadChains, len(rep.Stranded), rep.BlamedUsers, rep.OfflineCovered)
+				rep.DeadChains, rep.DeadShards, len(rep.Stranded), rep.BlamedUsers, rep.OfflineCovered)
 			if rep.Reformed {
 				fmt.Printf("round %d: re-formed chains at epoch %d after evicting servers %v\n",
 					rep.Round, rep.Epoch, rep.Evicted)
@@ -289,98 +366,4 @@ func runGateway(o gatewayOpts) {
 			net.PruneBefore(rep.Round - 4)
 		}
 	}
-}
-
-type hopSpec struct {
-	addr     string
-	certFile string
-}
-
-// dialSpec opens a hop client for one remote process, pinning its
-// certificate and installing the fault-injection wrapper when one is
-// configured.
-func dialSpec(spec hopSpec, label string, inj *faults.Injector) (*rpc.HopClient, error) {
-	pem, err := os.ReadFile(spec.certFile)
-	if err != nil {
-		return nil, fmt.Errorf("reading %s: %w", spec.certFile, err)
-	}
-	tlsCfg, err := rpc.ClientTLSFromPEM(pem)
-	if err != nil {
-		return nil, err
-	}
-	hc := rpc.DialHop(spec.addr, tlsCfg)
-	if inj != nil {
-		hc.SetConnWrapper(inj.Wrapper(label))
-	}
-	return hc, nil
-}
-
-// parseHopSpecs parses "chain:pos=addr=certfile,..." into a position
-// map.
-func parseHopSpecs(s string) (map[[2]int]hopSpec, error) {
-	out := make(map[[2]int]hopSpec)
-	if strings.TrimSpace(s) == "" {
-		return out, nil
-	}
-	for _, entry := range strings.Split(s, ",") {
-		entry = strings.TrimSpace(entry)
-		parts := strings.Split(entry, "=")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("entry %q: want chain:pos=addr=certfile", entry)
-		}
-		chainPos := strings.Split(parts[0], ":")
-		if len(chainPos) != 2 {
-			return nil, fmt.Errorf("entry %q: position %q is not chain:pos", entry, parts[0])
-		}
-		chain, err := strconv.Atoi(chainPos[0])
-		if err != nil {
-			return nil, fmt.Errorf("entry %q: chain: %w", entry, err)
-		}
-		pos, err := strconv.Atoi(chainPos[1])
-		if err != nil {
-			return nil, fmt.Errorf("entry %q: position: %w", entry, err)
-		}
-		key := [2]int{chain, pos}
-		if _, dup := out[key]; dup {
-			return nil, fmt.Errorf("position %d:%d listed twice", chain, pos)
-		}
-		out[key] = hopSpec{addr: parts[1], certFile: parts[2]}
-	}
-	return out, nil
-}
-
-// parseServerSpecs parses "id=addr=certfile,..." into a server
-// identity map.
-func parseServerSpecs(s string) (map[int]hopSpec, error) {
-	out := make(map[int]hopSpec)
-	if strings.TrimSpace(s) == "" {
-		return out, nil
-	}
-	for _, entry := range strings.Split(s, ",") {
-		entry = strings.TrimSpace(entry)
-		parts := strings.Split(entry, "=")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("entry %q: want id=addr=certfile", entry)
-		}
-		id, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return nil, fmt.Errorf("entry %q: server id: %w", entry, err)
-		}
-		if _, dup := out[id]; dup {
-			return nil, fmt.Errorf("server %d listed twice", id)
-		}
-		out[id] = hopSpec{addr: parts[1], certFile: parts[2]}
-	}
-	return out, nil
-}
-
-func writeCert(pemOf func() ([]byte, error), path string) error {
-	pem, err := pemOf()
-	if err != nil {
-		return fmt.Errorf("exporting certificate: %w", err)
-	}
-	if err := os.WriteFile(path, pem, 0o644); err != nil {
-		return fmt.Errorf("writing certificate: %w", err)
-	}
-	return nil
 }

@@ -364,17 +364,31 @@ func TestStrandedUsersGetRetryError(t *testing.T) {
 	for i := range users {
 		users[i] = net.NewUser()
 	}
-	// Halt chain 0 with a server-side tamper; every submitter to chain
-	// 0 is stranded, everyone else delivers.
-	if err := net.CorruptServer(0, 1, &mix.Corruption{TamperPairs: [][2]int{{0, 1}}}); err != nil {
+	// Halt the busiest chain with a server-side tamper; every
+	// submitter to it is stranded, everyone else delivers. The chain is
+	// picked from the users' actual (mailbox-derived, so per-run
+	// random) selections — a fixed chain could draw no traffic at all.
+	load := make([]int, 3)
+	for _, u := range users {
+		for _, c := range net.Plan().ChainsForUser(u.Mailbox()) {
+			load[c]++
+		}
+	}
+	victim := 0
+	for c, n := range load {
+		if n > load[victim] {
+			victim = c
+		}
+	}
+	if err := net.CorruptServer(victim, 1, &mix.Corruption{TamperPairs: [][2]int{{0, 1}}}); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := net.RunRound()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.HaltedChains) != 1 || rep.HaltedChains[0] != 0 {
-		t.Fatalf("chain 0 did not halt: %+v", rep)
+	if len(rep.HaltedChains) != 1 || rep.HaltedChains[0] != victim {
+		t.Fatalf("chain %d did not halt: %+v", victim, rep)
 	}
 	if len(rep.Stranded) == 0 {
 		t.Fatal("halted chain stranded nobody")

@@ -1,36 +1,42 @@
 // Package core assembles a complete XRD network and drives its
 // rounds: it is the public API of this reproduction.
 //
-// A Network owns the mix servers organised into parallel anytrust
-// chains (§5.2), the mailbox cluster (§5.1), the deterministic
-// chain-selection plan (§5.3.1) and the sharded user registry. Each
-// call to RunRound executes one communication round end to end
-// (Figure 1): users build their ℓ messages plus the next round's
-// covers, every chain mixes with aggregate-hybrid-shuffle
-// verification (§6), results land in mailboxes, and users fetch and
-// decrypt.
+// The package is split into two roles (see shard.go):
 //
-// Round execution is a parallel pipeline. User onion building — the
-// dominant client-side cost the paper trades against PIR-style
-// designs — fans out over a worker pool sized by Config.Workers
-// (default GOMAXPROCS): workers claim registry shards, build every
-// online user in a shard under that shard's lock, and emit
-// submissions into worker-local per-chain accumulators that are
-// merged per chain afterwards, so no global lock is held anywhere on
-// the build path. Chains then mix concurrently (they are independent
-// local mix-nets, §4.2), deliveries stream to the mailbox cluster
-// concurrently per chain, and blame/removal bookkeeping touches only
-// the convicted user's owning shard.
+//   - Network is the round coordinator. It owns the mix servers
+//     organised into parallel anytrust chains (§5.2), the
+//     deterministic chain-selection plan (§5.3.1), epoch recovery and
+//     blame aggregation, and drives each round end to end.
+//   - GatewayShard is the per-user front end. Each shard owns a
+//     contiguous slice of the 64-shard registry: registration,
+//     presence, onion building, external submissions, cover banking
+//     and mailbox storage for its users. Frontend (frontend.go) is
+//     the in-process implementation; rpc.ShardClient hosts a shard in
+//     another process.
+//
+// When Config.Shards is empty, NewNetwork builds one full-range
+// in-process Frontend and the Network behaves exactly like the
+// pre-split monolith — same API, same locking, same round pipeline.
+//
+// Each call to RunRound executes one communication round end to end
+// (Figure 1): every shard builds its users' ℓ messages plus the next
+// round's covers (fanning out over a worker pool that claims registry
+// shards), every chain mixes with aggregate-hybrid-shuffle
+// verification (§6), results fan back out to the shard owning each
+// recipient mailbox, and users fetch and decrypt.
 //
 // Registry operations (NewUser, SetOnline, IsRemoved, NumUsers) and
 // mailbox fetches are safe to call concurrently with RunRound; a user
 // registered mid-round joins either the running round or the next
-// one, depending on whether her shard was already built. RunRound
-// itself is serialised: concurrent calls execute one at a time.
+// one, depending on whether her registry shard was already built.
+// RunRound itself is serialised: concurrent calls execute one at a
+// time.
 //
 // Misbehaviour injected through CorruptServer or InjectSubmission
 // surfaces in the RoundReport: halted chains, blamed servers, blamed
-// (and automatically removed) users — mirroring §6.4's guarantees.
+// (and automatically removed) users — mirroring §6.4's guarantees. A
+// gateway shard failing mid-round surfaces as DeadShards: only its
+// own users are affected, the round completes for everyone else.
 package core
 
 import (
@@ -40,14 +46,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/aead"
 	"repro/internal/chainsel"
 	"repro/internal/churn"
 	"repro/internal/client"
 	"repro/internal/group"
-	"repro/internal/mailbox"
 	"repro/internal/mix"
 	"repro/internal/onion"
 	"repro/internal/topology"
@@ -69,7 +73,9 @@ type Config struct {
 	ChainLengthOverride int
 	// Seed is the public randomness for chain formation.
 	Seed []byte
-	// MailboxServers is the mailbox cluster size; zero means 1.
+	// MailboxServers is the mailbox cluster size; zero means 1. Used
+	// by the default full-range Frontend; ignored when Shards is set
+	// (each shard sizes its own cluster).
 	MailboxServers int
 	// Scheme is the AEAD; nil means ChaCha20-Poly1305.
 	Scheme aead.Scheme
@@ -78,8 +84,14 @@ type Config struct {
 	DisableStaggering bool
 	// Workers sizes the round pipeline's build worker pool; zero
 	// means runtime.GOMAXPROCS(0). One worker reproduces the serial
-	// build order for deterministic comparisons.
+	// build order for deterministic comparisons. Applies to the
+	// default Frontend; explicit Shards carry their own pools.
 	Workers int
+	// Shards, when non-empty, supplies the gateway front-end shards.
+	// Their ranges must exactly partition the registry-shard space
+	// [0, NumRegistryShards). Empty means one in-process full-range
+	// Frontend — the monolith.
+	Shards []GatewayShard
 	// RemoteHops, when non-nil, is consulted for every chain position
 	// while the network is assembled, in chain order then position
 	// order. Returning a non-nil mix.Hop hosts that position on a
@@ -108,19 +120,23 @@ type Config struct {
 	Recover bool
 }
 
-// Network is a fully assembled XRD deployment.
+// Network is the round coordinator of an XRD deployment. With the
+// default single full-range Frontend it is also the complete
+// deployment, and every pre-split monolith method keeps working by
+// delegating to the shard owning the mailbox in question.
 type Network struct {
 	cfg     Config
 	scheme  aead.Scheme
 	plan    *chainsel.Plan
 	topo    *topology.Topology
 	chains  []*mix.Chain
-	boxes   *mailbox.Cluster
 	workers int
 
-	// reg is the sharded user registry; see registry.go for its
-	// locking rules.
-	reg *registry
+	// shards are the gateway front ends; owner maps each registry
+	// shard index to its position in shards. Both are fixed at
+	// construction.
+	shards []GatewayShard
+	owner  [numShards]int
 
 	// runMu serialises RunRound executions.
 	runMu sync.Mutex
@@ -129,7 +145,7 @@ type Network struct {
 	evictor *churn.Evictor
 
 	// mu guards the control state below — never user state, which
-	// lives behind per-shard locks in reg. plan, topo and chains (the
+	// lives inside the gateway shards. plan, topo and chains (the
 	// struct fields above) are ALSO guarded by mu once the network is
 	// running: epoch re-formation swaps them, so every reader outside
 	// the reform path itself must snapshot them via topoView.
@@ -140,41 +156,20 @@ type Network struct {
 	// pendingEvict queues servers to expel before the next round runs:
 	// those blamed by a halted chain or unreachable at announce.
 	pendingEvict map[int]bool
-	// stranded records, per recent round, the users whose traffic rode
-	// a chain that halted, failed or could not announce — they get a
-	// deterministic retry error instead of a silent drop.
-	stranded map[uint64]map[string]bool
-	// collected is the highest round whose external traffic has been
-	// folded into batches. The round counter only advances after
-	// mixing and delivery, so SubmitExternal must check this
-	// watermark too: a submission for the still-open round that
-	// arrives after collection would otherwise be accepted and then
-	// silently never mixed.
-	collected uint64
 	// failedServers marks crashed mix servers; chains containing one
 	// are skipped and their conversations fail for the round (§5.2.3).
 	failedServers map[int]bool
 	// injected are raw submissions added to chain batches this round
 	// (fault injection for malicious users).
 	injected map[int][]onion.Submission
-	// externals are network-transport users (see external.go).
-	externals map[string]*externalUser
-	// banned holds mailbox identifiers convicted by the blame
-	// protocol. Registry users are excluded by their removed flag, but
-	// transport-layer users have no registry entry, so without this
-	// set a convicted external user could resubmit every round (§6.4
-	// requires removal). SubmitExternal consults it.
-	banned map[string]bool
 }
 
-// NewNetwork builds the topology, keys every chain, and announces
-// round 1 (and round 2 cover) keys.
+// NewNetwork builds the topology, keys every chain, announces round 1
+// (and round 2 cover) keys, and installs the founding chain-selection
+// plan on every gateway shard.
 func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Scheme == nil {
 		cfg.Scheme = aead.ChaCha20Poly1305()
-	}
-	if cfg.MailboxServers == 0 {
-		cfg.MailboxServers = 1
 	}
 	topo, err := topology.Build(topology.Config{
 		NumServers:          cfg.NumServers,
@@ -192,16 +187,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building chain-selection plan: %w", err)
 	}
-	boxes, err := mailbox.NewCluster(cfg.MailboxServers)
-	if err != nil {
-		return nil, fmt.Errorf("core: building mailbox cluster: %w", err)
-	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Workers claim whole shards, so more workers than shards would
-	// just idle; cap here so Workers() reports the effective count.
 	if workers > numShards {
 		workers = numShards
 	}
@@ -210,16 +199,29 @@ func NewNetwork(cfg Config) (*Network, error) {
 		scheme:        cfg.Scheme,
 		plan:          plan,
 		topo:          topo,
-		boxes:         boxes,
 		workers:       workers,
 		round:         1,
-		reg:           newRegistry(),
 		evictor:       churn.NewEvictor(),
 		failedServers: make(map[int]bool),
 		injected:      make(map[int][]onion.Submission),
 		pendingEvict:  make(map[int]bool),
-		stranded:      make(map[uint64]map[string]bool),
-		banned:        make(map[string]bool),
+	}
+	if len(cfg.Shards) == 0 {
+		fe, err := NewFrontend(FrontendConfig{
+			Range:          FullRange(),
+			MailboxServers: cfg.MailboxServers,
+			Scheme:         cfg.Scheme,
+			Workers:        cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.shards = []GatewayShard{fe}
+	} else {
+		n.shards = cfg.Shards
+	}
+	if err := n.indexShards(); err != nil {
+		return nil, err
 	}
 	for c := range topo.Chains {
 		chain, err := n.assembleChainAt(0, topo, c)
@@ -234,8 +236,59 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err := n.announce(n.round + 1); err != nil {
 		return nil, err
 	}
+	// Install the founding plan everywhere. Like mix hops, shards must
+	// be reachable while the deployment forms.
+	for _, sh := range n.shards {
+		if err := sh.Rebalance(0, len(n.chains)); err != nil {
+			return nil, fmt.Errorf("core: installing plan on shard %s: %w", sh.Range(), err)
+		}
+	}
 	return n, nil
 }
+
+// indexShards validates that the shard ranges exactly partition
+// [0, numShards) and fills the owner lookup table.
+func (n *Network) indexShards() error {
+	covered := make([]int, numShards)
+	for i := range covered {
+		covered[i] = -1
+	}
+	for i, sh := range n.shards {
+		r := sh.Range()
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		for s := r.Lo; s < r.Hi; s++ {
+			if covered[s] != -1 {
+				return fmt.Errorf("core: registry shard %d owned by both gateway shards %s and %s",
+					s, n.shards[covered[s]].Range(), r)
+			}
+			covered[s] = i
+		}
+	}
+	for s, i := range covered {
+		if i == -1 {
+			return fmt.Errorf("core: registry shard %d owned by no gateway shard", s)
+		}
+		n.owner[s] = i
+	}
+	return nil
+}
+
+// shardFor returns the gateway shard owning a mailbox identifier.
+func (n *Network) shardFor(mailbox []byte) GatewayShard {
+	return n.shards[n.owner[OwnerShard(mailbox)]]
+}
+
+// frontendFor returns the in-process Frontend owning a mailbox
+// identifier, or nil when that shard is hosted remotely.
+func (n *Network) frontendFor(mailbox []byte) *Frontend {
+	fe, _ := n.shardFor(mailbox).(*Frontend)
+	return fe
+}
+
+// Shards exposes the gateway shards (for tests and the rpc layer).
+func (n *Network) Shards() []GatewayShard { return n.shards }
 
 // assembleChainAt keys one chain of a topology for an epoch, placing
 // each position in-process or on a remote hop according to
@@ -359,17 +412,41 @@ func (n *Network) ChainParams(chain int, round uint64) (mix.Params, error) {
 // round until she goes offline or is removed for misbehaviour. Safe
 // to call concurrently with a running round: the user joins the round
 // if her registry shard has not been built yet, the next one
-// otherwise.
+// otherwise. Key generation repeats until the identity lands on an
+// in-process shard; returns nil if every shard is remote (remote
+// users register through their gateway's transport instead).
 func (n *Network) NewUser() *client.User {
 	plan, _, _ := n.topoView()
-	u := client.NewUser(n.scheme, plan)
-	n.reg.insert(string(u.Mailbox()), &registeredUser{u: u, online: true})
-	return u
+	inProcess := false
+	for _, sh := range n.shards {
+		if _, ok := sh.(*Frontend); ok {
+			inProcess = true
+			break
+		}
+	}
+	if !inProcess {
+		return nil
+	}
+	for {
+		u := client.NewUser(n.scheme, plan)
+		if fe := n.frontendFor(u.Mailbox()); fe != nil {
+			if err := fe.AddUser(u); err == nil {
+				return u
+			}
+		}
+	}
 }
 
-// NumUsers returns the number of registered, non-removed users.
+// NumUsers returns the number of registered, non-removed users across
+// the in-process shards.
 func (n *Network) NumUsers() int {
-	return n.reg.countActive()
+	total := 0
+	for _, sh := range n.shards {
+		if fe, ok := sh.(*Frontend); ok {
+			total += fe.NumUsers()
+		}
+	}
+	return total
 }
 
 // SetOnline marks a user online or offline for subsequent rounds. The
@@ -378,22 +455,15 @@ func (n *Network) NumUsers() int {
 // was ended by the offline signal, so reconnecting reverts her to
 // loopback traffic until a conversation is re-initiated.
 func (n *Network) SetOnline(u *client.User, online bool) {
-	n.reg.update(string(u.Mailbox()), func(ru *registeredUser) {
-		if online && !ru.online && ru.coversUsed {
-			ru.u.EndAllConversations()
-			ru.coversUsed = false
-		}
-		ru.online = online
-	})
+	if fe := n.frontendFor(u.Mailbox()); fe != nil {
+		fe.SetOnline(u, online)
+	}
 }
 
 // IsRemoved reports whether the user was removed for misbehaviour.
 func (n *Network) IsRemoved(u *client.User) bool {
-	removed := false
-	ok := n.reg.view(string(u.Mailbox()), func(ru *registeredUser) {
-		removed = ru.removed
-	})
-	return ok && removed
+	fe := n.frontendFor(u.Mailbox())
+	return fe != nil && fe.IsRemoved(u)
 }
 
 // FailServer crashes a mix server: every chain containing it halts
@@ -439,18 +509,62 @@ func (n *Network) InjectSubmission(chain int, sub onion.Submission) {
 
 // Fetch downloads a user's mailbox for a round.
 func (n *Network) Fetch(u *client.User, round uint64) [][]byte {
-	return n.boxes.Fetch(round, u.Mailbox())
+	if fe := n.frontendFor(u.Mailbox()); fe != nil {
+		return fe.Fetch(u, round)
+	}
+	return nil
 }
 
 // FetchMailbox downloads a mailbox by identifier, the transport-layer
 // variant of Fetch.
 func (n *Network) FetchMailbox(round uint64, mailbox []byte) [][]byte {
-	return n.boxes.Fetch(round, mailbox)
+	if fe := n.frontendFor(mailbox); fe != nil {
+		return fe.FetchMailbox(round, mailbox)
+	}
+	return nil
 }
 
-// PruneBefore discards mailbox state older than the given round.
+// PruneBefore discards mailbox state older than the given round on
+// every in-process shard.
 func (n *Network) PruneBefore(round uint64) {
-	n.boxes.PruneBefore(round)
+	for _, sh := range n.shards {
+		if fe, ok := sh.(*Frontend); ok {
+			fe.PruneBefore(round)
+		}
+	}
+}
+
+// Register records a network-transport user's mailbox identifier
+// with the shard owning it (see Frontend.Register).
+func (n *Network) Register(mailbox []byte) error {
+	fe := n.frontendFor(mailbox)
+	if fe == nil {
+		return fmt.Errorf("core: mailbox's gateway shard %s is remote; register through its transport",
+			n.shardFor(mailbox).Range())
+	}
+	return fe.Register(mailbox)
+}
+
+// SubmitExternal queues a remote user's round output with the shard
+// owning her mailbox (see external.go for the window semantics).
+func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error {
+	fe := n.frontendFor([]byte(mailbox))
+	if fe == nil {
+		return fmt.Errorf("core: mailbox's gateway shard %s is remote; submit through its transport",
+			n.shardFor([]byte(mailbox)).Range())
+	}
+	return fe.SubmitExternal(mailbox, out)
+}
+
+// StrandedError reports whether the user behind mailbox was stranded
+// in the given executed round: a deterministic error wrapping
+// ErrRoundRetry if so, nil otherwise. Records are kept for the last
+// strandedRetention rounds on the owning shard.
+func (n *Network) StrandedError(round uint64, mailbox []byte) error {
+	if fe := n.frontendFor(mailbox); fe != nil {
+		return fe.StrandedError(round, mailbox)
+	}
+	return nil
 }
 
 // RoundReport summarises one executed round.
@@ -481,6 +595,15 @@ type RoundReport struct {
 	// keys (an unreachable hop); their users are stranded for the
 	// round and, with Recover on, the chain re-forms before the next.
 	DeadChains []int
+	// DeadShards lists gateway shards (indices into Config.Shards, or
+	// 0 for the default Frontend) that failed their round-begin or
+	// round-finish call: their users contributed nothing (begin) or
+	// lost their deliveries (finish); everyone else's round completed.
+	DeadShards []int
+	// LostDeliveries counts mailbox messages that were mixed but could
+	// not be stored because their owning shard died before
+	// FinishRound.
+	LostDeliveries int
 	// Stranded lists users (mailbox identifiers) whose traffic rode a
 	// halted, failed or dead chain this round: nothing of theirs was
 	// delivered and StrandedError reports ErrRoundRetry for them.
@@ -493,32 +616,51 @@ type RoundReport struct {
 	Evicted  []int
 }
 
-// chainBatch pairs a chain's submissions with their submitters for
-// blame attribution.
-type chainBatch struct {
-	subs       []onion.Submission
-	submitters []string
-}
-
-func (b *chainBatch) add(sub onion.Submission, who string) {
-	b.subs = append(b.subs, sub)
-	b.submitters = append(b.submitters, who)
-}
-
 // roundParams is an immutable per-round snapshot of every chain's
 // public parameters for rounds ρ and ρ+1. Build workers read it
 // without any lock, and it saves each of the M·ℓ·2 per-message
-// parameter lookups from reassembling key slices.
+// parameter lookups from reassembling key slices. Dead chains — those
+// that failed to announce — carry zero parameters and are refused by
+// ChainParams.
 type roundParams struct {
 	rho  uint64
 	cur  []mix.Params
 	next []mix.Params
+	dead map[int]bool
+}
+
+// newRoundParams assembles a snapshot from its wire representation.
+func newRoundParams(rho uint64, cur, next []mix.Params, dead []int) *roundParams {
+	p := &roundParams{rho: rho, cur: cur, next: next}
+	if len(dead) > 0 {
+		p.dead = make(map[int]bool, len(dead))
+		for _, c := range dead {
+			p.dead[c] = true
+		}
+	}
+	return p
+}
+
+// deadList returns the dead-chain set as a sorted slice.
+func (p *roundParams) deadList() []int {
+	if len(p.dead) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(p.dead))
+	for c := range p.dead {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // ChainParams implements client.ParamsSource.
 func (p *roundParams) ChainParams(chain int, round uint64) (mix.Params, error) {
 	if chain < 0 || chain >= len(p.cur) {
 		return mix.Params{}, fmt.Errorf("core: no chain %d", chain)
+	}
+	if p.dead[chain] {
+		return mix.Params{}, fmt.Errorf("core: chain %d is dead for round %d", chain, p.rho)
 	}
 	switch round {
 	case p.rho:
@@ -538,6 +680,7 @@ func snapshotParams(chains []*mix.Chain, rho uint64, dead map[int]bool) (*roundP
 		rho:  rho,
 		cur:  make([]mix.Params, len(chains)),
 		next: make([]mix.Params, len(chains)),
+		dead: dead,
 	}
 	for c, chain := range chains {
 		if dead[c] {
@@ -554,133 +697,16 @@ func snapshotParams(chains []*mix.Chain, rho uint64, dead map[int]bool) (*roundP
 	return p, nil
 }
 
-// buildAcc is one build worker's private accumulator: per-chain
-// batches plus bookkeeping counters. Workers never share accumulators,
-// so the build fan-out appends without synchronisation.
-type buildAcc struct {
-	batches []chainBatch
-	covered int
-	// skipped are users who could not participate this round because
-	// one of their ℓ chains is dead (failed to announce keys).
-	skipped []string
-	err     error
-}
-
-// buildBatches fans user onion building out over the worker pool.
-// Workers claim registry shards from an atomic cursor and build every
-// non-removed user in a claimed shard under that shard's lock: online
-// users build fresh messages and bank next-round covers, offline
-// users spend their banked covers exactly once (§5.3.3). The
-// worker-local per-chain slices are then merged into one batch per
-// chain. Returns the merged batches, the offline-covered count, and
-// the users skipped because a dead chain made their round impossible.
-func (n *Network) buildBatches(rho uint64, src client.ParamsSource, numChains int, dead map[int]bool) ([]chainBatch, int, []string, error) {
-	workers := n.workers
-	accs := make([]buildAcc, workers)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(acc *buildAcc) {
-			defer wg.Done()
-			acc.batches = make([]chainBatch, numChains)
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= numShards {
-					return
-				}
-				if err := n.buildShard(&n.reg.shards[i], rho, src, acc, dead); err != nil {
-					acc.err = err
-					return
-				}
-			}
-		}(&accs[w])
-	}
-	wg.Wait()
-
-	covered := 0
-	var skipped []string
-	for w := range accs {
-		if accs[w].err != nil {
-			return nil, 0, nil, accs[w].err
-		}
-		covered += accs[w].covered
-		skipped = append(skipped, accs[w].skipped...)
-	}
-	merged := make([]chainBatch, numChains)
-	for c := range merged {
-		total := 0
-		for w := range accs {
-			total += len(accs[w].batches[c].subs)
-		}
-		merged[c].subs = make([]onion.Submission, 0, total)
-		merged[c].submitters = make([]string, 0, total)
-		for w := range accs {
-			merged[c].subs = append(merged[c].subs, accs[w].batches[c].subs...)
-			merged[c].submitters = append(merged[c].submitters, accs[w].batches[c].submitters...)
-		}
-	}
-	return merged, covered, skipped, nil
-}
-
-// buildShard builds one registry shard's users into the worker's
-// accumulator. The shard lock is held for the duration, so presence
-// changes and conversation mutations for these users serialise
-// against the build — and against nothing else. Users with a dead
-// chain among their ℓ chains cannot build a valid round (the wire
-// pattern requires all ℓ messages) and are skipped as stranded; their
-// banked covers stay banked.
-func (n *Network) buildShard(sh *userShard, rho uint64, src client.ParamsSource, acc *buildAcc, dead map[int]bool) error {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for key, ru := range sh.users {
-		if ru.removed {
-			continue
-		}
-		if len(dead) > 0 {
-			onDead := false
-			for _, c := range ru.u.Chains() {
-				if dead[c] {
-					onDead = true
-					break
-				}
-			}
-			if onDead {
-				if ru.online {
-					acc.skipped = append(acc.skipped, key)
-				}
-				continue
-			}
-		}
-		if ru.online {
-			out, err := ru.u.BuildRound(rho, src)
-			if err != nil {
-				return fmt.Errorf("core: user build failed: %w", err)
-			}
-			for _, cm := range out.Current {
-				acc.batches[cm.Chain].add(cm.Sub, key)
-			}
-			ru.cover = out.Cover
-			ru.coverRound = rho + 1
-			continue
-		}
-		if ru.cover != nil && ru.coverRound == rho {
-			for _, cm := range ru.cover {
-				acc.batches[cm.Chain].add(cm.Sub, key)
-			}
-			ru.cover = nil
-			ru.coversUsed = true
-			acc.covered++
-		}
-	}
-	return nil
-}
-
 // RunRound executes the upcoming round and advances the round
-// counter: parallel onion building over the registry shards, parallel
-// mixing across chains, parallel delivery into the mailbox cluster.
-// Blamed users are removed from the network before the next round.
-// Concurrent RunRound calls are serialised.
+// counter. The coordinator's view of the pipeline: announce this
+// round's keys; push the round parameters to every gateway shard and
+// collect their per-chain batches (each shard builds its own users in
+// parallel over its worker pool); mix every chain in parallel (they
+// are independent local mix-nets, §4.2); fan the delivered mailbox
+// messages back out to the shard owning each recipient, along with
+// the blame verdicts and stranded-user records. Blamed users are
+// removed from the network before the next round. Concurrent RunRound
+// calls are serialised.
 //
 // With Config.Recover set, RunRound additionally performs epoch
 // recovery: servers blamed by a previous round (a halted chain, a
@@ -688,6 +714,8 @@ func (n *Network) buildShard(sh *userShard, rho uint64, src client.ParamsSource,
 // survivors before this round executes, and chains that cannot
 // announce this round's keys run dead — their users are stranded for
 // the round (see StrandedError) rather than wedging the deployment.
+// A gateway shard that fails its round-begin call is dead for the
+// round: it contributes no traffic and the round proceeds without it.
 func (n *Network) RunRound() (*RoundReport, error) {
 	n.runMu.Lock()
 	defer n.runMu.Unlock()
@@ -730,8 +758,8 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	// after a failed trailing announce (a remote hop that blipped
 	// last round and recovered) it is the retry that un-wedges the
 	// deployment. A chain that still cannot announce is dead for the
-	// round: it is excluded from the parameter snapshot, the build
-	// strands its users, and — when the failure is attributable to a
+	// round: it is excluded from the parameter snapshot, the shards
+	// strand its users, and — when the failure is attributable to a
 	// position — the server behind it is queued for eviction.
 	dead := make(map[int]bool)
 	noteDead := func(errs []error) {
@@ -749,36 +777,86 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	noteDead(announceEach(chains, rho))
 	noteDead(announceEach(chains, rho+1))
 
-	// Stage 1: build. Fan the per-user onion construction out over
-	// the worker pool against an immutable parameter snapshot.
+	// Stage 1: build, distributed. Push the parameter snapshot to
+	// every gateway shard; each builds its users' onions over its
+	// worker pool, folds in collected external traffic and closes its
+	// submission window for the round. A shard erroring here is dead
+	// for the round: only its users are missing from the batches.
 	snap, err := snapshotParams(chains, rho, dead)
 	if err != nil {
 		return nil, err
 	}
-	batches, covered, skipped, err := n.buildBatches(rho, snap, len(chains), dead)
-	if err != nil {
-		return nil, err
+	br := &BeginRound{
+		Round:     rho,
+		Epoch:     epoch,
+		NumChains: len(chains),
+		Cur:       snap.cur,
+		Next:      snap.next,
+		Dead:      snap.deadList(),
 	}
-	report.OfflineCovered = covered
+	builds := make([]*ShardBuild, len(n.shards))
+	beginErrs := make([]error, len(n.shards))
+	var beginWG sync.WaitGroup
+	for i, sh := range n.shards {
+		beginWG.Add(1)
+		go func(i int, sh GatewayShard) {
+			defer beginWG.Done()
+			builds[i], beginErrs[i] = sh.BeginRound(br)
+		}(i, sh)
+	}
+	beginWG.Wait()
 
-	n.mu.Lock()
-	prevCollected := n.collected
-	report.OfflineCovered += n.collectExternalsLocked(rho, batches)
-	n.mu.Unlock()
-	// reopenExternals rolls the submission watermark back if the
-	// round fails after collection: the round will be retried, so
-	// external users must be able to resubmit for it (their collected
-	// traffic was consumed by the failed attempt).
-	reopenExternals := func() {
-		n.mu.Lock()
-		if n.collected == rho {
-			n.collected = prevCollected
+	deadShards := make(map[int]bool)
+	var skipped []string
+	for i := range n.shards {
+		if beginErrs[i] != nil {
+			deadShards[i] = true
+			report.DeadShards = append(report.DeadShards, i)
+			continue
 		}
-		n.mu.Unlock()
+		report.OfflineCovered += builds[i].Covered
+		skipped = append(skipped, builds[i].Skipped...)
+	}
+	if len(deadShards) == len(n.shards) {
+		return nil, fmt.Errorf("core: every gateway shard failed round %d begin: %w", rho, errors.Join(beginErrs...))
+	}
+
+	// Merge the shards' per-chain batches plus injected submissions.
+	batches := make([]ChainBatch, len(chains))
+	for c := range batches {
+		total := 0
+		for i := range builds {
+			if builds[i] != nil && c < len(builds[i].Batches) {
+				total += len(builds[i].Batches[c].Subs)
+			}
+		}
+		batches[c].Subs = make([]onion.Submission, 0, total)
+		batches[c].Submitters = make([]string, 0, total)
+		for i := range builds {
+			if builds[i] == nil || c >= len(builds[i].Batches) {
+				continue
+			}
+			batches[c].Subs = append(batches[c].Subs, builds[i].Batches[c].Subs...)
+			batches[c].Submitters = append(batches[c].Submitters, builds[i].Batches[c].Submitters...)
+		}
 	}
 	for chain, subs := range injected {
+		if chain < 0 || chain >= len(batches) {
+			continue
+		}
 		for _, sub := range subs {
 			batches[chain].add(sub, fmt.Sprintf("injected:%d", chain))
+		}
+	}
+	// abortShards rolls the live shards' submission windows back if
+	// the round fails after collection: the round will be retried, so
+	// external users must be able to resubmit for it (their collected
+	// traffic was consumed by the failed attempt).
+	abortShards := func() {
+		for i, sh := range n.shards {
+			if !deadShards[i] {
+				sh.AbortRound(rho)
+			}
 		}
 	}
 
@@ -803,19 +881,18 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			res, err := chains[c].RunRound(rho, client.LaneCurrent, batches[c].subs)
+			res, err := chains[c].RunRound(rho, client.LaneCurrent, batches[c].Subs)
 			outcomes[c] = chainOutcome{res: res, err: err}
 		}(c)
 	}
 	wg.Wait()
 
-	// Stage 3: aggregate and deliver. Reports are folded serially
-	// (cheap), removals touch only the convicted user's shard, and
-	// deliveries stream to the mailbox cluster concurrently per
-	// chain — the cluster shards its own locks by server.
+	// Stage 3: aggregate. Reports are folded serially (cheap); the
+	// deliveries and removal verdicts are then fanned back out to the
+	// owning shards.
 	for c := range chains {
 		if !failedChains[c] && !dead[c] && outcomes[c].err != nil {
-			reopenExternals()
+			abortShards()
 			return nil, fmt.Errorf("core: chain %d: %w", c, outcomes[c].err)
 		}
 	}
@@ -828,15 +905,14 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		stranded[who] = true
 	}
 	strandChain := func(c int) {
-		for _, who := range batches[c].submitters {
+		for _, who := range batches[c].Submitters {
 			if !strings.HasPrefix(who, "injected:") {
 				stranded[who] = true
 			}
 		}
 	}
-	var deliverWG sync.WaitGroup
-	var delivered atomic.Int64
 	var convicted []string
+	deliveries := make([][][]byte, len(chains))
 	for c := range chains {
 		if failedChains[c] || dead[c] {
 			strandChain(c)
@@ -858,22 +934,14 @@ func (n *Network) RunRound() (*RoundReport, error) {
 			}
 		}
 		for _, idx := range res.BlamedUsers {
-			who := batches[c].submitters[idx]
+			who := batches[c].Submitters[idx]
 			report.BlamedUsers = append(report.BlamedUsers, who)
-			n.reg.markRemoved(who)
 			convicted = append(convicted, who)
 		}
 		if !res.Halted {
-			deliverWG.Add(1)
-			go func(msgs [][]byte) {
-				defer deliverWG.Done()
-				d, _ := n.boxes.Deliver(rho, msgs)
-				delivered.Add(int64(d))
-			}(res.Delivered)
+			deliveries[c] = res.Delivered
 		}
 	}
-	deliverWG.Wait()
-	report.Delivered = int(delivered.Load())
 
 	// Convicted users are removed, not stranded: there is no honest
 	// retry for them.
@@ -888,38 +956,108 @@ func (n *Network) RunRound() (*RoundReport, error) {
 		sort.Strings(report.Stranded)
 	}
 
+	// Advance the round and announce the keys the NEXT round's covers
+	// will need, before closing this round on the shards — the finish
+	// message carries the (ρ+1, ρ+2) parameter snapshot so gateway
+	// processes can serve clients without another coordinator round
+	// trip.
 	n.mu.Lock()
-	// Ban convicted identifiers at the transport layer too: external
-	// users have no registry entry for markRemoved to flip, so the
-	// ban set is what actually keeps them out (§6.4). Their banked
-	// state goes with them — a removed user's covers must never run.
-	for _, who := range convicted {
-		n.banned[who] = true
-		delete(n.externals, who)
-	}
-	if len(stranded) > 0 {
-		n.stranded[rho] = stranded
-	}
-	for r := range n.stranded {
-		if r+strandedRetention <= rho {
-			delete(n.stranded, r)
-		}
-	}
 	n.round = rho + 1
 	next := n.round + 1
 	n.mu.Unlock()
 	trailing := announceEach(chains, next)
-	for _, e := range trailing {
+	deadNext := make(map[int]bool, len(dead))
+	for c := range dead {
+		deadNext[c] = true
+	}
+	for c, e := range trailing {
 		if e != nil {
+			deadNext[c] = true
 			n.attributeHopError(topo, e)
 		}
 	}
-	if err := errors.Join(trailing...); err != nil {
-		// The executed round is complete and its report valid; what
-		// failed is announcing round next's keys — typically a remote
-		// hop that died (its chain halted above). Return both so the
-		// caller keeps this round's outcome alongside the failure.
-		return report, err
+	finishSnap, snapErr := snapshotParams(chains, rho+1, deadNext)
+	if snapErr != nil {
+		// A chain with announced keys that cannot be snapshotted is as
+		// dead as one that failed to announce; ship the finish without
+		// parameters rather than losing the deliveries.
+		finishSnap = &roundParams{rho: rho + 1}
+	}
+
+	// Stage 4: deliver, distributed. Route every mixed mailbox
+	// message to the shard owning its recipient, the blame verdicts to
+	// the shard owning the convicted user, the stranded records
+	// likewise, and close the round everywhere in parallel.
+	perShard := make([][][]byte, len(n.shards))
+	for c := range deliveries {
+		for _, msg := range deliveries[c] {
+			rcpt, err := onion.Recipient(msg)
+			if err != nil {
+				continue // malformed; the monolith dropped these at the cluster
+			}
+			i := n.owner[OwnerShard(rcpt)]
+			perShard[i] = append(perShard[i], msg)
+		}
+	}
+	removedPer := make([][]string, len(n.shards))
+	for _, who := range convicted {
+		i := n.owner[shardIndex(who)]
+		removedPer[i] = append(removedPer[i], who)
+	}
+	strandedPer := make([][]string, len(n.shards))
+	for _, who := range report.Stranded {
+		i := n.owner[shardIndex(who)]
+		strandedPer[i] = append(strandedPer[i], who)
+	}
+
+	finishErrs := make([]error, len(n.shards))
+	deliveredPer := make([]int, len(n.shards))
+	var finishWG sync.WaitGroup
+	for i, sh := range n.shards {
+		if deadShards[i] {
+			report.LostDeliveries += len(perShard[i])
+			continue
+		}
+		finishWG.Add(1)
+		go func(i int, sh GatewayShard) {
+			defer finishWG.Done()
+			deliveredPer[i], finishErrs[i] = sh.FinishRound(&FinishRound{
+				Round:     rho,
+				Delivered: perShard[i],
+				Removed:   removedPer[i],
+				Stranded:  strandedPer[i],
+				Epoch:     epoch,
+				NumChains: len(chains),
+				Cur:       finishSnap.cur,
+				Next:      finishSnap.next,
+				Dead:      finishSnap.deadList(),
+			})
+		}(i, sh)
+	}
+	finishWG.Wait()
+	for i := range n.shards {
+		if deadShards[i] {
+			continue
+		}
+		if finishErrs[i] != nil {
+			deadShards[i] = true
+			report.DeadShards = append(report.DeadShards, i)
+			report.LostDeliveries += len(perShard[i])
+			continue
+		}
+		report.Delivered += deliveredPer[i]
+	}
+	sort.Ints(report.DeadShards)
+
+	for _, e := range trailing {
+		if e != nil {
+			// The executed round is complete and its report valid; what
+			// failed is announcing round next's keys — typically a
+			// remote hop that died (its chain halted above). Return
+			// both so the caller keeps this round's outcome alongside
+			// the failure.
+			return report, errors.Join(trailing...)
+		}
 	}
 	return report, nil
 }

@@ -7,20 +7,21 @@ import (
 )
 
 // External users participate over the network transport
-// (internal/rpc) rather than through the in-process registry. The
-// network stores their submissions per round and their covers for the
-// following round, applying the same §5.3.3 churn rule: if an
+// (internal/rpc) rather than through the in-process registry. Their
+// gateway shard stores their submissions per round and their covers
+// for the following round, applying the same §5.3.3 churn rule: if an
 // external user misses a round for which she pre-submitted covers,
 // the covers run in her place exactly once.
 //
 // Submission window: round ρ is open from the moment it becomes the
-// upcoming round until RunRound(ρ) folds external traffic into the
-// chain batches (just after the build stage). From then until the
-// round counter advances — the mix and delivery phase — submissions
-// for ρ are rejected with an explicit "already mixing" error; the
-// client's move is to re-poll the round number and rebuild for the
-// next round. If the round fails and will be retried, the window
-// reopens so consumed submissions can be resent.
+// upcoming round until the coordinator's BeginRound folds external
+// traffic into the chain batches (just after the build stage). From
+// then until FinishRound advances the round counter — the mix and
+// delivery phase — submissions for ρ are rejected with an explicit
+// "already mixing" error; the client's move is to re-poll the round
+// number and rebuild for the next round. If the round fails and will
+// be retried, AbortRound reopens the window so consumed submissions
+// can be resent.
 
 type externalUser struct {
 	current map[uint64][]client.ChainMessage
@@ -29,33 +30,37 @@ type externalUser struct {
 
 // SubmitExternal queues a remote user's round output. current must
 // target the upcoming round; covers are stored for the round after.
-func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.banned[mailbox] {
+// Ownership is deliberately not enforced: any gateway accepts any
+// user's submission (the batches are global), which is what lets a
+// client fail over to another gateway when its own is briefly
+// unreachable.
+func (f *Frontend) SubmitExternal(mailbox string, out *client.RoundOutput) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.banned[mailbox] {
 		return fmt.Errorf("core: user was removed for misbehaviour; submissions are refused")
 	}
-	if out.Round != n.round {
-		return fmt.Errorf("core: submission for round %d but round %d is open", out.Round, n.round)
+	if f.plan == nil {
+		return fmt.Errorf("core: shard %s has no chain plan yet; submissions are refused", f.rng)
 	}
-	if out.Round <= n.collected {
+	if out.Round != f.round {
+		return fmt.Errorf("core: submission for round %d but round %d is open", out.Round, f.round)
+	}
+	if out.Round <= f.collected {
 		return fmt.Errorf("core: round %d is already mixing; submissions are closed", out.Round)
 	}
 	for _, cm := range append(out.Current, out.Cover...) {
-		if cm.Chain < 0 || cm.Chain >= len(n.chains) {
+		if cm.Chain < 0 || cm.Chain >= f.plan.NumChains {
 			return fmt.Errorf("core: submission to unknown chain %d", cm.Chain)
 		}
 	}
-	if n.externals == nil {
-		n.externals = make(map[string]*externalUser)
-	}
-	eu, ok := n.externals[mailbox]
+	eu, ok := f.externals[mailbox]
 	if !ok {
 		eu = &externalUser{
 			current: make(map[uint64][]client.ChainMessage),
 			cover:   make(map[uint64][]client.ChainMessage),
 		}
-		n.externals[mailbox] = eu
+		f.externals[mailbox] = eu
 	}
 	if _, dup := eu.current[out.Round]; dup {
 		return fmt.Errorf("core: duplicate submission for round %d", out.Round)
@@ -67,14 +72,14 @@ func (n *Network) SubmitExternal(mailbox string, out *client.RoundOutput) error 
 
 // collectExternalsLocked merges external users' traffic into the
 // round's batches and closes the round for further submissions; must
-// be called with n.mu held. Returns the number of external users
+// be called with f.mu held. Returns the number of external users
 // covered by their pre-submitted covers.
-func (n *Network) collectExternalsLocked(rho uint64, batches []chainBatch) int {
-	if rho > n.collected {
-		n.collected = rho
+func (f *Frontend) collectExternalsLocked(rho uint64, batches []ChainBatch) int {
+	if rho > f.collected {
+		f.collected = rho
 	}
 	covered := 0
-	for who, eu := range n.externals {
+	for who, eu := range f.externals {
 		if msgs, ok := eu.current[rho]; ok {
 			for _, cm := range msgs {
 				batches[cm.Chain].add(cm.Sub, who)

@@ -30,9 +30,10 @@ func TestSubmitExternalRejectsCollectedRound(t *testing.T) {
 	// Simulate the mid-round window: the round is still open (the
 	// counter advances only after mixing and delivery) but external
 	// traffic has been collected.
-	n.mu.Lock()
-	n.collected = n.round
-	n.mu.Unlock()
+	fe := n.Shards()[0].(*Frontend)
+	fe.mu.Lock()
+	fe.collected = fe.round
+	fe.mu.Unlock()
 
 	u2 := client.NewUser(nil, n.Plan())
 	out2, err := u2.BuildRound(n.Round(), n)

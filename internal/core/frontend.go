@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aead"
+	"repro/internal/chainsel"
+	"repro/internal/client"
+	"repro/internal/mailbox"
+	"repro/internal/mix"
+	"repro/internal/onion"
+)
+
+// FrontendConfig describes one gateway front-end shard.
+type FrontendConfig struct {
+	// Range is the registry-shard slice this frontend owns; the zero
+	// value means the full space (the monolith).
+	Range ShardRange
+	// NumChains, when nonzero, installs the chain-selection plan for
+	// epoch 0 immediately; zero defers it to the first Rebalance or
+	// BeginRound (a gateway process learns the chain count from the
+	// coordinator).
+	NumChains int
+	// MailboxServers sizes this shard's mailbox cluster; zero means 1.
+	MailboxServers int
+	// Scheme is the AEAD; nil means ChaCha20-Poly1305.
+	Scheme aead.Scheme
+	// Workers sizes the build worker pool; zero means GOMAXPROCS.
+	Workers int
+}
+
+// Frontend is the in-process gateway shard: the per-user half of a
+// deployment. It owns a slice of the sharded user registry, the
+// mailbox storage for those users, their external submissions, bans
+// and stranded-round records, and the round pipeline's onion-building
+// worker pool — everything that scales with users rather than with
+// chains. It implements GatewayShard for the coordinator and the
+// user-facing operations (registration, submission, fetch) that
+// rpc.ShardServer exposes to remote clients.
+//
+// Locking: reg has per-shard locks (registry.go); mu guards the
+// remaining control state. BeginRound, FinishRound, AbortRound and
+// Rebalance are driven by one coordinator at a time; user-facing
+// calls are safe concurrently with all of them.
+type Frontend struct {
+	rng     ShardRange
+	scheme  aead.Scheme
+	boxes   *mailbox.Cluster
+	workers int
+	reg     *registry
+
+	mu    sync.Mutex
+	plan  *chainsel.Plan // nil until the chain count is known
+	epoch uint64
+	// round is the upcoming round as of the last Begin/FinishRound.
+	round uint64
+	// collected is the highest round whose external traffic has been
+	// folded into batches; see SubmitExternal.
+	collected uint64
+	// params is the last pushed parameter snapshot, serving client
+	// ChainParams between rounds.
+	params *roundParams
+	// stranded, externals, banned: see the corresponding Network
+	// fields before the split (external.go, recover.go).
+	stranded  map[uint64]map[string]bool
+	externals map[string]*externalUser
+	banned    map[string]bool
+}
+
+var _ GatewayShard = (*Frontend)(nil)
+
+// NewFrontend creates a gateway shard over the given registry range.
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	if cfg.Range == (ShardRange{}) {
+		cfg.Range = FullRange()
+	}
+	if err := cfg.Range.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = aead.ChaCha20Poly1305()
+	}
+	if cfg.MailboxServers == 0 {
+		cfg.MailboxServers = 1
+	}
+	boxes, err := mailbox.NewCluster(cfg.MailboxServers)
+	if err != nil {
+		return nil, fmt.Errorf("core: building mailbox cluster: %w", err)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Workers claim whole registry shards, so more workers than owned
+	// shards would just idle.
+	if workers > cfg.Range.Width() {
+		workers = cfg.Range.Width()
+	}
+	f := &Frontend{
+		rng:       cfg.Range,
+		scheme:    cfg.Scheme,
+		boxes:     boxes,
+		workers:   workers,
+		reg:       newRegistry(),
+		round:     1,
+		stranded:  make(map[uint64]map[string]bool),
+		externals: make(map[string]*externalUser),
+		banned:    make(map[string]bool),
+	}
+	if cfg.NumChains > 0 {
+		if err := f.Rebalance(0, cfg.NumChains); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Range implements GatewayShard.
+func (f *Frontend) Range() ShardRange { return f.rng }
+
+// Workers returns the effective build worker pool size.
+func (f *Frontend) Workers() int { return f.workers }
+
+// Round returns the upcoming round as of the last coordinator push.
+func (f *Frontend) Round() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.round
+}
+
+// Epoch returns the topology epoch the shard last adopted.
+func (f *Frontend) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Plan returns the current chain-selection plan (nil before the chain
+// count is known).
+func (f *Frontend) Plan() *chainsel.Plan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan
+}
+
+// SetRound force-sets the upcoming round, used when a shard process
+// (re)joins a deployment whose round counter is past 1.
+func (f *Frontend) SetRound(round uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.round = round
+	if round > 0 {
+		f.collected = round - 1
+	}
+}
+
+// SetParams installs a parameter snapshot outside the round flow —
+// the init path for a shard process that must serve clients before
+// its first BeginRound.
+func (f *Frontend) SetParams(rho uint64, cur, next []mix.Params, dead []int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.params = newRoundParams(rho, cur, next, dead)
+}
+
+// ChainParams implements client.ParamsSource from the last pushed
+// snapshot, so a gateway shard answers parameter queries without a
+// coordinator round trip.
+func (f *Frontend) ChainParams(chain int, round uint64) (mix.Params, error) {
+	f.mu.Lock()
+	p := f.params
+	f.mu.Unlock()
+	if p == nil {
+		return mix.Params{}, fmt.Errorf("core: shard %s has no round parameters yet", f.rng)
+	}
+	return p.ChainParams(chain, round)
+}
+
+// adoptLocked installs the plan for an epoch; see Rebalance. Callers
+// hold f.mu.
+func (f *Frontend) adoptLocked(epoch uint64, numChains int) error {
+	plan, err := chainsel.NewPlan(numChains)
+	if err != nil {
+		return fmt.Errorf("core: shard %s plan for epoch %d: %w", f.rng, epoch, err)
+	}
+	f.plan = plan
+	f.epoch = epoch
+	// External submissions were built against the old chains' keys;
+	// resubmitting them under the new epoch would get their honest
+	// owners blamed (see recover.go).
+	f.externals = make(map[string]*externalUser)
+	return nil
+}
+
+// Rebalance implements GatewayShard: it installs the new epoch's
+// deterministic chain-selection plan, re-derives every owned user's
+// chain assignments and discards banked covers and stored external
+// submissions (all keyed to the old chains' keys).
+func (f *Frontend) Rebalance(epoch uint64, numChains int) error {
+	f.mu.Lock()
+	if err := f.adoptLocked(epoch, numChains); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	plan := f.plan
+	f.mu.Unlock()
+
+	for i := f.rng.Lo; i < f.rng.Hi; i++ {
+		sh := &f.reg.shards[i]
+		sh.mu.Lock()
+		for _, ru := range sh.users {
+			if ru.removed || ru.u == nil {
+				continue
+			}
+			ru.cover = nil
+			ru.coverRound = 0
+			ru.u.Rebalance(plan)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// NewUser creates and registers a user owned by this shard; with a
+// partial range, key generation repeats until the identity hashes
+// into it (the network-wide operation is: ask the owning gateway).
+func (f *Frontend) NewUser() *client.User {
+	f.mu.Lock()
+	plan := f.plan
+	f.mu.Unlock()
+	if plan == nil {
+		return nil
+	}
+	for {
+		u := client.NewUser(f.scheme, plan)
+		if !f.rng.Owns(u.Mailbox()) {
+			continue
+		}
+		f.reg.insert(string(u.Mailbox()), &registeredUser{u: u, online: true})
+		return u
+	}
+}
+
+// AddUser registers an existing in-process user; it must hash into
+// this shard's range.
+func (f *Frontend) AddUser(u *client.User) error {
+	if !f.rng.Owns(u.Mailbox()) {
+		return fmt.Errorf("core: user %x hashes to shard %d outside range %s",
+			u.Mailbox()[:4], OwnerShard(u.Mailbox()), f.rng)
+	}
+	f.reg.insert(string(u.Mailbox()), &registeredUser{u: u, online: true})
+	return nil
+}
+
+// Register records a network-transport user's mailbox identifier in
+// the registry: she counts toward the user base and may submit
+// externally, but her onions are built client-side, so the entry
+// holds no client state. Banned identifiers are refused.
+func (f *Frontend) Register(mailboxID []byte) error {
+	key := string(mailboxID)
+	if !f.rng.Owns(mailboxID) {
+		return fmt.Errorf("core: mailbox hashes to shard %d outside range %s",
+			OwnerShard(mailboxID), f.rng)
+	}
+	f.mu.Lock()
+	banned := f.banned[key]
+	f.mu.Unlock()
+	if banned {
+		return fmt.Errorf("core: user was removed for misbehaviour; registration refused")
+	}
+	f.reg.insert(key, &registeredUser{})
+	return nil
+}
+
+// NumUsers returns the number of registered, non-removed users.
+func (f *Frontend) NumUsers() int { return f.reg.countActive() }
+
+// SetOnline marks an in-process user online or offline; see
+// Network.SetOnline for the churn semantics.
+func (f *Frontend) SetOnline(u *client.User, online bool) {
+	f.reg.update(string(u.Mailbox()), func(ru *registeredUser) {
+		if ru.u == nil {
+			return
+		}
+		if online && !ru.online && ru.coversUsed {
+			ru.u.EndAllConversations()
+			ru.coversUsed = false
+		}
+		ru.online = online
+	})
+}
+
+// IsRemoved reports whether the user was removed for misbehaviour.
+func (f *Frontend) IsRemoved(u *client.User) bool {
+	removed := false
+	ok := f.reg.view(string(u.Mailbox()), func(ru *registeredUser) {
+		removed = ru.removed
+	})
+	return ok && removed
+}
+
+// Fetch downloads an in-process user's mailbox for a round.
+func (f *Frontend) Fetch(u *client.User, round uint64) [][]byte {
+	return f.boxes.Fetch(round, u.Mailbox())
+}
+
+// FetchMailbox downloads a mailbox by identifier.
+func (f *Frontend) FetchMailbox(round uint64, mailboxID []byte) [][]byte {
+	return f.boxes.Fetch(round, mailboxID)
+}
+
+// PruneBefore discards mailbox state older than the given round.
+func (f *Frontend) PruneBefore(round uint64) {
+	f.boxes.PruneBefore(round)
+}
+
+// StrandedError reports whether the mailbox's user was stranded in
+// the given executed round; see recover.go.
+func (f *Frontend) StrandedError(round uint64, mailboxID []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stranded[round][string(mailboxID)] {
+		return fmt.Errorf("core: round %d: %w", round, ErrRoundRetry)
+	}
+	return nil
+}
+
+// BeginRound implements GatewayShard: it adopts the pushed epoch and
+// parameters, fans onion building out over the owned registry shards,
+// folds collected external traffic into the batches and closes the
+// round's submission window.
+func (f *Frontend) BeginRound(br *BeginRound) (*ShardBuild, error) {
+	f.mu.Lock()
+	if f.plan == nil || f.epoch != br.Epoch || f.plan.NumChains != br.NumChains {
+		// A shard that missed (or predates) the epoch broadcast adopts
+		// it here: the plan is deterministic in the chain count, so no
+		// separate state transfer is needed. Already-installed epochs
+		// are a no-op.
+		if err := f.adoptLocked(br.Epoch, br.NumChains); err != nil {
+			f.mu.Unlock()
+			return nil, err
+		}
+		plan := f.plan
+		f.mu.Unlock()
+		// Users still carry the old plan; rebalance them before
+		// building (mirrors Rebalance, which callers normally invoke
+		// first).
+		for i := f.rng.Lo; i < f.rng.Hi; i++ {
+			sh := &f.reg.shards[i]
+			sh.mu.Lock()
+			for _, ru := range sh.users {
+				if !ru.removed && ru.u != nil {
+					ru.cover = nil
+					ru.coverRound = 0
+					ru.u.Rebalance(plan)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		f.mu.Lock()
+	}
+	f.params = newRoundParams(br.Round, br.Cur, br.Next, br.Dead)
+	f.round = br.Round
+	params := f.params
+	f.mu.Unlock()
+
+	build, err := f.buildBatches(br.Round, params, br.NumChains, params.dead)
+	if err != nil {
+		return nil, err
+	}
+
+	f.mu.Lock()
+	build.Covered += f.collectExternalsLocked(br.Round, build.Batches)
+	f.mu.Unlock()
+	return build, nil
+}
+
+// FinishRound implements GatewayShard: deliver the routed mailbox
+// messages, remove and ban the convicted, record the stranded, adopt
+// the next round's parameters.
+func (f *Frontend) FinishRound(fr *FinishRound) (int, error) {
+	delivered, _ := f.boxes.Deliver(fr.Round, fr.Delivered)
+	for _, who := range fr.Removed {
+		f.reg.markRemoved(who)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, who := range fr.Removed {
+		// Ban at the transport layer too: external users have no
+		// registry client state, and a removed user's banked traffic
+		// must never run (§6.4).
+		f.banned[who] = true
+		delete(f.externals, who)
+	}
+	if len(fr.Stranded) > 0 {
+		set := make(map[string]bool, len(fr.Stranded))
+		for _, who := range fr.Stranded {
+			set[who] = true
+		}
+		f.stranded[fr.Round] = set
+	}
+	for r := range f.stranded {
+		if r+strandedRetention <= fr.Round {
+			delete(f.stranded, r)
+		}
+	}
+	f.round = fr.Round + 1
+	if len(fr.Cur) > 0 {
+		f.params = newRoundParams(fr.Round+1, fr.Cur, fr.Next, fr.Dead)
+	}
+	return delivered, nil
+}
+
+// AbortRound implements GatewayShard: the round failed after its
+// submission window closed and will be retried, so external users
+// must be able to resubmit for it.
+func (f *Frontend) AbortRound(round uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.collected >= round {
+		f.collected = round - 1
+	}
+}
+
+// buildAcc is one build worker's private accumulator: per-chain
+// batches plus bookkeeping counters. Workers never share
+// accumulators, so the build fan-out appends without synchronisation.
+type buildAcc struct {
+	batches []ChainBatch
+	covered int
+	// skipped are users who could not participate this round because
+	// one of their ℓ chains is dead (failed to announce keys).
+	skipped []string
+	err     error
+}
+
+// buildBatches fans user onion building out over the worker pool.
+// Workers claim owned registry shards from an atomic cursor and build
+// every non-removed user in a claimed shard under that shard's lock:
+// online users build fresh messages and bank next-round covers,
+// offline users spend their banked covers exactly once (§5.3.3). The
+// worker-local per-chain slices are then merged into one batch per
+// chain.
+func (f *Frontend) buildBatches(rho uint64, src client.ParamsSource, numChains int, dead map[int]bool) (*ShardBuild, error) {
+	workers := f.workers
+	accs := make([]buildAcc, workers)
+	cursor := atomic.Int64{}
+	cursor.Store(int64(f.rng.Lo))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(acc *buildAcc) {
+			defer wg.Done()
+			acc.batches = make([]ChainBatch, numChains)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= f.rng.Hi {
+					return
+				}
+				if err := f.buildShard(&f.reg.shards[i], rho, src, acc, dead); err != nil {
+					acc.err = err
+					return
+				}
+			}
+		}(&accs[w])
+	}
+	wg.Wait()
+
+	out := &ShardBuild{}
+	for w := range accs {
+		if accs[w].err != nil {
+			return nil, accs[w].err
+		}
+		out.Covered += accs[w].covered
+		out.Skipped = append(out.Skipped, accs[w].skipped...)
+	}
+	out.Batches = make([]ChainBatch, numChains)
+	for c := range out.Batches {
+		total := 0
+		for w := range accs {
+			total += len(accs[w].batches[c].Subs)
+		}
+		out.Batches[c].Subs = make([]onion.Submission, 0, total)
+		out.Batches[c].Submitters = make([]string, 0, total)
+		for w := range accs {
+			out.Batches[c].Subs = append(out.Batches[c].Subs, accs[w].batches[c].Subs...)
+			out.Batches[c].Submitters = append(out.Batches[c].Submitters, accs[w].batches[c].Submitters...)
+		}
+	}
+	return out, nil
+}
+
+// buildShard builds one registry shard's users into the worker's
+// accumulator. The shard lock is held for the duration, so presence
+// changes and conversation mutations for these users serialise
+// against the build — and against nothing else. Users with a dead
+// chain among their ℓ chains cannot build a valid round (the wire
+// pattern requires all ℓ messages) and are skipped as stranded; their
+// banked covers stay banked. Registry entries without client state
+// (network-transport registrations) build nothing here — their onions
+// arrive through SubmitExternal.
+func (f *Frontend) buildShard(sh *userShard, rho uint64, src client.ParamsSource, acc *buildAcc, dead map[int]bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for key, ru := range sh.users {
+		if ru.removed || ru.u == nil {
+			continue
+		}
+		if len(dead) > 0 {
+			onDead := false
+			for _, c := range ru.u.Chains() {
+				if dead[c] {
+					onDead = true
+					break
+				}
+			}
+			if onDead {
+				if ru.online {
+					acc.skipped = append(acc.skipped, key)
+				}
+				continue
+			}
+		}
+		if ru.online {
+			out, err := ru.u.BuildRound(rho, src)
+			if err != nil {
+				return fmt.Errorf("core: user build failed: %w", err)
+			}
+			for _, cm := range out.Current {
+				acc.batches[cm.Chain].add(cm.Sub, key)
+			}
+			ru.cover = out.Cover
+			ru.coverRound = rho + 1
+			continue
+		}
+		if ru.cover != nil && ru.coverRound == rho {
+			for _, cm := range ru.cover {
+				acc.batches[cm.Chain].add(cm.Sub, key)
+			}
+			ru.cover = nil
+			ru.coversUsed = true
+			acc.covered++
+		}
+	}
+	return nil
+}

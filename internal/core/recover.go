@@ -44,19 +44,6 @@ const strandedRetention = 8
 // is wrong with her; she should simply participate in the next round.
 var ErrRoundRetry = errors.New("core: round did not deliver for this user; retry next round")
 
-// StrandedError reports whether the user behind mailbox was stranded
-// in the given executed round: a deterministic error wrapping
-// ErrRoundRetry if so, nil otherwise. Records are kept for the last
-// strandedRetention rounds.
-func (n *Network) StrandedError(round uint64, mailbox []byte) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.stranded[round][string(mailbox)] {
-		return fmt.Errorf("core: round %d: %w", round, ErrRoundRetry)
-	}
-	return nil
-}
-
 // hopErrorServer translates a *mix.HopError in err's chain into the
 // server identity occupying the failing position under topo.
 func hopErrorServer(topo *topology.Topology, err error) (int, bool) {
@@ -200,39 +187,24 @@ func (n *Network) reform() ([]int, error) {
 		}
 
 		// Commit: swap the topology state first, so NewUser and the
-		// transport Status see the new plan, then rebalance every
-		// registered user onto it. External submissions built against
-		// the old parameters are discarded (see the package comment
-		// above for why keeping them would get honest users blamed).
+		// transport Status see the new plan, then broadcast the new
+		// epoch to every gateway shard — each rebalances its own users
+		// and discards external submissions built against the old
+		// parameters (see the package comment above for why keeping
+		// them would get honest users blamed). A shard unreachable for
+		// the broadcast is tolerated: BeginRound carries the epoch too
+		// and the shard adopts it there, since the plan is
+		// deterministic in the chain count.
 		n.mu.Lock()
 		n.plan, n.topo, n.chains = plan2, topo2, chains2
 		n.epoch = newEpoch
-		n.externals = make(map[string]*externalUser)
 		n.mu.Unlock()
-		n.rebalanceUsers(plan2)
+		for _, sh := range n.shards {
+			_ = sh.Rebalance(newEpoch, len(chains2))
+		}
 		sort.Ints(evicted)
 		return evicted, nil
 	}
 	sort.Ints(evicted)
 	return evicted, errors.New("core: chain re-formation did not converge")
-}
-
-// rebalanceUsers re-derives every registered user's chain assignments
-// under the new plan and discards banked covers (built against the
-// old chains' keys — resubmitting them would get the honest owner
-// blamed when decryption fails).
-func (n *Network) rebalanceUsers(plan *chainsel.Plan) {
-	for i := range n.reg.shards {
-		sh := &n.reg.shards[i]
-		sh.mu.Lock()
-		for _, ru := range sh.users {
-			if ru.removed {
-				continue
-			}
-			ru.cover = nil
-			ru.coverRound = 0
-			ru.u.Rebalance(plan)
-		}
-		sh.mu.Unlock()
-	}
 }

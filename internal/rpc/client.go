@@ -18,6 +18,27 @@ import (
 // deployments or very tight tests.
 const DefaultCallTimeout = 3 * time.Minute
 
+// TransportError marks a connection-level failure — dial, write,
+// read, deadline — as opposed to an application error returned by the
+// server. The distinction drives failover: a gateway that answered
+// "round closed" is healthy and retrying elsewhere is pointless,
+// while one that cannot be reached may have died and its peers can
+// still take the traffic (see MultiClient).
+type TransportError struct {
+	Op  string
+	Err error
+}
+
+func (e *TransportError) Error() string { return fmt.Sprintf("rpc: %s: %v", e.Op, e.Err) }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransportError reports whether err (or anything it wraps) is a
+// connection-level failure.
+func IsTransportError(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
 // Client is a remote user's connection to an XRD gateway. It
 // implements client.ParamsSource, so a client.User can build rounds
 // against a remote deployment exactly as against an in-process one.
@@ -35,9 +56,10 @@ type Client struct {
 	addr   string
 	tlsCfg *tls.Config
 
-	mu     sync.Mutex
-	closed bool
-	conn   net.Conn // nil after a transport failure; redialed on use
+	mu      sync.Mutex
+	closed  bool
+	conn    net.Conn  // nil after a transport failure; redialed on use
+	lastUse time.Time // when conn last completed an exchange
 	// paramsCache avoids refetching identical (chain, round) params
 	// during one BuildRound (2ℓ lookups).
 	paramsCache map[[2]uint64]mix.Params
@@ -57,9 +79,25 @@ func Dial(addr string, tlsCfg *tls.Config) (*Client, error) {
 		addr:        addr,
 		tlsCfg:      tlsCfg,
 		conn:        conn,
+		lastUse:     time.Now(),
 		paramsCache: make(map[[2]uint64]mix.Params),
 	}, nil
 }
+
+// NewClient creates a client without connecting; the first call
+// dials. Use it when the target may not be up yet, or when failover
+// logic (MultiClient) should decide lazily which gateways to touch.
+func NewClient(addr string, tlsCfg *tls.Config) *Client {
+	return &Client{
+		Timeout:     DefaultCallTimeout,
+		addr:        addr,
+		tlsCfg:      tlsCfg,
+		paramsCache: make(map[[2]uint64]mix.Params),
+	}
+}
+
+// Addr returns the gateway address this client targets.
+func (c *Client) Addr() string { return c.addr }
 
 // Close closes the connection; subsequent calls fail.
 func (c *Client) Close() error {
@@ -92,10 +130,17 @@ func (c *Client) call(method string, reqBody any, respBody any) error {
 	if c.closed {
 		return errors.New("rpc: client closed")
 	}
+	// A connection idle past maxConnIdle has likely been shed by the
+	// server's idle deadline (see the hop pool's identical rule);
+	// reusing it would fail the call spuriously. Redial instead.
+	if c.conn != nil && time.Since(c.lastUse) > maxConnIdle {
+		c.conn.Close()
+		c.conn = nil
+	}
 	if c.conn == nil {
 		conn, err := tls.Dial("tcp", c.addr, c.tlsCfg)
 		if err != nil {
-			return fmt.Errorf("rpc: redialing %s: %w", c.addr, err)
+			return &TransportError{Op: "dialing " + c.addr, Err: err}
 		}
 		c.conn = conn
 	}
@@ -111,12 +156,12 @@ func (c *Client) call(method string, reqBody any, respBody any) error {
 	}
 	if err := WriteFrame(c.conn, req); err != nil {
 		poison()
-		return fmt.Errorf("rpc: sending %s: %w", method, err)
+		return &TransportError{Op: "sending " + method, Err: err}
 	}
 	frame, err := ReadFrame(c.conn)
 	if err != nil {
 		poison()
-		return fmt.Errorf("rpc: reading %s response: %w", method, err)
+		return &TransportError{Op: "reading " + method + " response", Err: err}
 	}
 	var resp response
 	if err := decode(frame, &resp); err != nil {
@@ -126,6 +171,7 @@ func (c *Client) call(method string, reqBody any, respBody any) error {
 	if c.Timeout > 0 {
 		c.conn.SetDeadline(time.Time{})
 	}
+	c.lastUse = time.Now()
 	if resp.Err != "" {
 		return errors.New(resp.Err)
 	}
@@ -199,4 +245,16 @@ func (c *Client) RunRound() (RunRoundResponse, error) {
 	var resp RunRoundResponse
 	err := c.call("runround", struct{}{}, &resp)
 	return resp, err
+}
+
+// Register records a batch of mailbox identifiers with the gateway:
+// the registered-but-not-necessarily-active population the cover
+// traffic model sizes against. Identifiers a gateway shard does not
+// own are rejected.
+func (c *Client) Register(mailboxes [][]byte) (int, error) {
+	var resp RegisterResponse
+	if err := c.call("register", RegisterRequest{Mailboxes: mailboxes}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Registered, nil
 }

@@ -16,13 +16,15 @@ import (
 
 // shortIdleFleet launches hop endpoints whose idle deadline is tight
 // enough for a test to watch a misbehaving connection get shed. The
-// timeout is set before anything dials, so no serving goroutine races
-// the write.
+// write happens under the endpoint's lock, the same one the accept
+// loop snapshots the deadlines under.
 func shortIdleFleet(t *testing.T, k int, idle time.Duration) []*HopServer {
 	t.Helper()
 	fleet := startHopFleet(t, k)
 	for _, hs := range fleet {
+		hs.listenerCore.mu.Lock()
 		hs.IdleTimeout = idle
+		hs.listenerCore.mu.Unlock()
 	}
 	return fleet
 }

@@ -138,16 +138,19 @@ func (s *listenerCore) acceptLoop() {
 			conn = s.wrapConn(conn)
 		}
 		s.conns[conn] = true
+		// Snapshot the deadlines under mu: writers (tests tightening
+		// them) synchronize on the same lock.
+		idle, write := s.IdleTimeout, s.WriteTimeout
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(conn, idle, write)
 		}()
 	}
 }
 
-func (s *listenerCore) serveConn(conn net.Conn) {
+func (s *listenerCore) serveConn(conn net.Conn, idle, write time.Duration) {
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -158,8 +161,8 @@ func (s *listenerCore) serveConn(conn net.Conn) {
 		// The read deadline spans the idle gap between frames: a peer
 		// that connects and goes silent is shed instead of holding
 		// this goroutine for the life of the process.
-		if s.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
 		}
 		frame, err := ReadFrame(conn)
 		if err != nil {
@@ -179,8 +182,8 @@ func (s *listenerCore) serveConn(conn net.Conn) {
 			s.Logf("rpc: encoding response: %v", err)
 			return
 		}
-		if s.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
 		}
 		if err := WriteFrame(conn, out); err != nil {
 			return

@@ -1,0 +1,209 @@
+package rpc
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/mix"
+)
+
+// Endpoint names one gateway a MultiClient may talk to.
+type Endpoint struct {
+	Addr string
+	TLS  *tls.Config
+}
+
+// MultiClient is a user's view of a sharded gateway front end: a set
+// of gateways, the shard ranges they own (discovered from their
+// status endpoints), and failover. Operations that any gateway can
+// serve — parameter fetches, submissions — prefer the gateway owning
+// the user's mailbox and retry the others on a transport-level
+// failure; operations bound to mailbox storage (fetch, register) must
+// reach the owner. It implements client.ParamsSource, so a
+// client.User builds rounds against a sharded deployment exactly as
+// against a single gateway.
+type MultiClient struct {
+	clients []*Client
+
+	mu sync.Mutex
+	// ranges[i] is clients[i]'s discovered shard range; the zero value
+	// means unknown (not yet refreshed, or a coordinator serving the
+	// full space — which FullRange covers either way).
+	ranges []core.ShardRange
+}
+
+var _ client.ParamsSource = (*MultiClient)(nil)
+
+// NewMultiClient creates a client over the given gateways without
+// connecting; Refresh (or the first call) dials.
+func NewMultiClient(endpoints []Endpoint) (*MultiClient, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("rpc: no gateway endpoints")
+	}
+	m := &MultiClient{ranges: make([]core.ShardRange, len(endpoints))}
+	for _, ep := range endpoints {
+		m.clients = append(m.clients, NewClient(ep.Addr, ep.TLS))
+	}
+	return m, nil
+}
+
+// Clients exposes the per-gateway clients in endpoint order.
+func (m *MultiClient) Clients() []*Client { return m.clients }
+
+// Close closes every connection.
+func (m *MultiClient) Close() {
+	for _, c := range m.clients {
+		c.Close()
+	}
+}
+
+// Refresh queries every gateway's status and records the shard range
+// each owns. Unreachable gateways keep their previous (possibly
+// unknown) range; at least one must answer.
+func (m *MultiClient) Refresh() error {
+	var lastErr error
+	ok := false
+	for i, c := range m.clients {
+		st, err := c.Status()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ok = true
+		m.mu.Lock()
+		if st.ShardHi > st.ShardLo {
+			m.ranges[i] = core.ShardRange{Lo: st.ShardLo, Hi: st.ShardHi}
+		} else {
+			m.ranges[i] = core.FullRange()
+		}
+		m.mu.Unlock()
+	}
+	if !ok {
+		return fmt.Errorf("rpc: no gateway reachable: %w", lastErr)
+	}
+	return nil
+}
+
+// ownerIdx returns the index of the gateway owning a mailbox, or -1
+// when no discovered range covers it.
+func (m *MultiClient) ownerIdx(mailbox []byte) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.ranges {
+		if r.Width() > 0 && r.Owns(mailbox) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClientFor returns the gateway owning a mailbox, falling back to the
+// first gateway when ownership is unknown.
+func (m *MultiClient) ClientFor(mailbox []byte) *Client {
+	if i := m.ownerIdx(mailbox); i >= 0 {
+		return m.clients[i]
+	}
+	return m.clients[0]
+}
+
+// tryEach runs op against the gateways starting from preferred,
+// failing over to the next on transport-level errors only: an
+// application-level rejection is authoritative and returned as is.
+func (m *MultiClient) tryEach(preferred int, op func(*Client) error) error {
+	if preferred < 0 {
+		preferred = 0
+	}
+	var lastErr error
+	for k := 0; k < len(m.clients); k++ {
+		c := m.clients[(preferred+k)%len(m.clients)]
+		err := op(c)
+		if err == nil || !IsTransportError(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// ChainParams implements client.ParamsSource with failover: chain
+// parameters are public and identical on every gateway.
+func (m *MultiClient) ChainParams(chain int, round uint64) (mix.Params, error) {
+	var p mix.Params
+	err := m.tryEach(0, func(c *Client) error {
+		var err error
+		p, err = c.ChainParams(chain, round)
+		return err
+	})
+	return p, err
+}
+
+// Status returns the first reachable gateway's status.
+func (m *MultiClient) Status() (StatusResponse, error) {
+	var st StatusResponse
+	err := m.tryEach(0, func(c *Client) error {
+		var err error
+		st, err = c.Status()
+		return err
+	})
+	return st, err
+}
+
+// Submit uploads a round output, preferring the mailbox's owner but
+// accepting any reachable gateway: submissions feed the global chain
+// batches, so a user whose own gateway is briefly unreachable still
+// makes her round through a peer.
+func (m *MultiClient) Submit(mailbox []byte, out *client.RoundOutput) error {
+	return m.tryEach(m.ownerIdx(mailbox), func(c *Client) error {
+		return c.Submit(mailbox, out)
+	})
+}
+
+// Fetch downloads a mailbox from its owning gateway — mailbox storage
+// is not replicated, so there is no failover target. With ownership
+// unknown every gateway is asked and the first non-empty (or last
+// empty) answer wins.
+func (m *MultiClient) Fetch(round uint64, mailbox []byte) ([][]byte, error) {
+	if i := m.ownerIdx(mailbox); i >= 0 {
+		return m.clients[i].Fetch(round, mailbox)
+	}
+	var msgs [][]byte
+	err := m.tryEach(0, func(c *Client) error {
+		var err error
+		msgs, err = c.Fetch(round, mailbox)
+		if err == nil && len(msgs) == 0 && len(m.clients) > 1 {
+			return &TransportError{Op: "fetch", Err: errors.New("empty mailbox; trying owner candidates")}
+		}
+		return err
+	})
+	if err != nil && len(msgs) == 0 && IsTransportError(err) {
+		return msgs, nil // every gateway answered empty
+	}
+	return msgs, err
+}
+
+// Register records mailbox identifiers, routing each batch to the
+// owning gateway. Identifiers whose owner is unknown go to the first
+// gateway (correct for a monolith; an error otherwise).
+func (m *MultiClient) Register(mailboxes [][]byte) (int, error) {
+	buckets := make(map[int][][]byte)
+	for _, mb := range mailboxes {
+		i := m.ownerIdx(mb)
+		if i < 0 {
+			i = 0
+		}
+		buckets[i] = append(buckets[i], mb)
+	}
+	total := 0
+	for i, batch := range buckets {
+		n, err := m.clients[i].Register(batch)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -3,7 +3,6 @@ package rpc
 import (
 	"fmt"
 
-	"repro/internal/client"
 	"repro/internal/core"
 )
 
@@ -46,25 +45,28 @@ func (s *Server) handle(method string, body []byte) ([]byte, error) {
 		if err := decode(body, &sr); err != nil {
 			return nil, err
 		}
-		out := &client.RoundOutput{Round: sr.Round}
-		for _, w := range sr.Current {
-			chain, sub, err := submissionFromWire(w)
-			if err != nil {
-				return nil, err
-			}
-			out.Current = append(out.Current, client.ChainMessage{Chain: chain, Sub: sub})
-		}
-		for _, w := range sr.Cover {
-			chain, sub, err := submissionFromWire(w)
-			if err != nil {
-				return nil, err
-			}
-			out.Cover = append(out.Cover, client.ChainMessage{Chain: chain, Sub: sub})
+		out, err := submitFromWire(sr)
+		if err != nil {
+			return nil, err
 		}
 		if err := s.network.SubmitExternal(string(sr.Mailbox), out); err != nil {
 			return nil, err
 		}
 		return encode(SubmitResponse{Accepted: true})
+
+	case "register":
+		var rr RegisterRequest
+		if err := decode(body, &rr); err != nil {
+			return nil, err
+		}
+		registered := 0
+		for _, mb := range rr.Mailboxes {
+			if err := s.network.Register(mb); err != nil {
+				return nil, fmt.Errorf("rpc: after %d registrations: %w", registered, err)
+			}
+			registered++
+		}
+		return encode(RegisterResponse{Registered: registered})
 
 	case "fetch":
 		var fr FetchRequest
@@ -80,6 +82,9 @@ func (s *Server) handle(method string, body []byte) ([]byte, error) {
 			NumChains:   s.network.NumChains(),
 			ChainLength: s.network.Topology().ChainLength,
 			L:           s.network.Plan().L,
+			Epoch:       s.network.Epoch(),
+			Role:        "coordinator",
+			Users:       s.network.NumUsers(),
 		})
 
 	case "runround":

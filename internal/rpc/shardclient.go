@@ -1,0 +1,199 @@
+package rpc
+
+import (
+	"crypto/tls"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mix"
+	"repro/internal/onion"
+)
+
+// DefaultShardCallTimeout bounds one coordinator→shard exchange.
+// shard.begin covers the shard's whole build phase (every owned user's
+// onion construction), so the bound is far looser than a user call's.
+const DefaultShardCallTimeout = 10 * time.Minute
+
+// shardChunk bounds how many submissions or mailbox messages ride in
+// one frame of the chunked batch/deliver exchanges.
+const shardChunk = 4096
+
+// ShardClient is the coordinator's handle on a gateway shard hosted
+// in another process: it implements core.GatewayShard by carrying the
+// begin/batch/deliver/finish protocol (shardwire.go) over the shared
+// TLS RPC transport, mirroring how HopClient carries mix.Hop.
+type ShardClient struct {
+	rng core.ShardRange
+	c   *Client
+}
+
+var _ core.GatewayShard = (*ShardClient)(nil)
+
+// NewShardClient creates a handle on the gateway shard at addr owning
+// registry shards [lo, hi). It does not connect; Init (or the first
+// round) does.
+func NewShardClient(lo, hi int, addr string, tlsCfg *tls.Config) (*ShardClient, error) {
+	rng := core.ShardRange{Lo: lo, Hi: hi}
+	if err := rng.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewClient(addr, tlsCfg)
+	c.Timeout = DefaultShardCallTimeout
+	return &ShardClient{rng: rng, c: c}, nil
+}
+
+// Addr returns the shard process's address.
+func (s *ShardClient) Addr() string { return s.c.Addr() }
+
+// Close closes the underlying connection.
+func (s *ShardClient) Close() error { return s.c.Close() }
+
+// Range implements core.GatewayShard.
+func (s *ShardClient) Range() core.ShardRange { return s.rng }
+
+// Init attaches the shard process to a running deployment: it pushes
+// the current epoch, round and parameter snapshot so the gateway can
+// serve clients before its first BeginRound, and verifies the remote
+// end owns the range this handle was configured with.
+func (s *ShardClient) Init(n *core.Network) error {
+	rho := n.Round()
+	numChains := n.NumChains()
+	req := ShardInitRequest{
+		Lo:          s.rng.Lo,
+		Hi:          s.rng.Hi,
+		Epoch:       n.Epoch(),
+		Round:       rho,
+		NumChains:   numChains,
+		ChainLength: n.Topology().ChainLength,
+	}
+	cur := make([]mix.Params, numChains)
+	next := make([]mix.Params, numChains)
+	dead := make(map[int]bool)
+	for c := 0; c < numChains; c++ {
+		var err error
+		if cur[c], err = n.ChainParams(c, rho); err != nil {
+			dead[c] = true
+			req.Dead = append(req.Dead, c)
+			continue
+		}
+		if next[c], err = n.ChainParams(c, rho+1); err != nil {
+			dead[c] = true
+			req.Dead = append(req.Dead, c)
+		}
+	}
+	req.Cur = paramsSliceToWire(cur, dead)
+	req.Next = paramsSliceToWire(next, dead)
+	var resp ShardInitResponse
+	if err := s.c.call("shard.init", req, &resp); err != nil {
+		return fmt.Errorf("rpc: initialising shard %s at %s: %w", s.rng, s.c.Addr(), err)
+	}
+	return nil
+}
+
+// BeginRound implements core.GatewayShard: push the round, pull the
+// shard's batches in chunks.
+func (s *ShardClient) BeginRound(br *core.BeginRound) (*core.ShardBuild, error) {
+	dead := make(map[int]bool, len(br.Dead))
+	for _, c := range br.Dead {
+		dead[c] = true
+	}
+	req := ShardBeginRequest{
+		Round:     br.Round,
+		Epoch:     br.Epoch,
+		NumChains: br.NumChains,
+		Cur:       paramsSliceToWire(br.Cur, dead),
+		Next:      paramsSliceToWire(br.Next, dead),
+		Dead:      br.Dead,
+	}
+	var resp ShardBeginResponse
+	if err := s.c.call("shard.begin", req, &resp); err != nil {
+		return nil, err
+	}
+	build := &core.ShardBuild{
+		Covered: resp.Covered,
+		Skipped: resp.Skipped,
+		Batches: make([]core.ChainBatch, len(resp.Counts)),
+	}
+	for chain, count := range resp.Counts {
+		batch := &build.Batches[chain]
+		batch.Subs = make([]onion.Submission, 0, count)
+		batch.Submitters = make([]string, 0, count)
+		for off := 0; off < count; off += shardChunk {
+			var chunk ShardBatchResponse
+			err := s.c.call("shard.batch", ShardBatchRequest{
+				Round: br.Round, Chain: chain, Offset: off, Max: shardChunk,
+			}, &chunk)
+			if err != nil {
+				return nil, err
+			}
+			if len(chunk.Subs) == 0 {
+				return nil, fmt.Errorf("rpc: shard %s returned empty batch chunk at %d/%d", s.rng, off, count)
+			}
+			for _, w := range chunk.Subs {
+				_, sub, err := submissionFromWire(w)
+				if err != nil {
+					return nil, fmt.Errorf("rpc: shard %s chain %d: %w", s.rng, chain, err)
+				}
+				batch.Subs = append(batch.Subs, sub)
+			}
+			batch.Submitters = append(batch.Submitters, chunk.Submitters...)
+		}
+		if len(batch.Subs) != count {
+			return nil, fmt.Errorf("rpc: shard %s chain %d: pulled %d of %d submissions", s.rng, chain, len(batch.Subs), count)
+		}
+	}
+	return build, nil
+}
+
+// FinishRound implements core.GatewayShard: push the deliveries in
+// chunks, then commit the round.
+func (s *ShardClient) FinishRound(fr *core.FinishRound) (int, error) {
+	for off := 0; off < len(fr.Delivered); off += shardChunk {
+		end := off + shardChunk
+		if end > len(fr.Delivered) {
+			end = len(fr.Delivered)
+		}
+		var resp ShardDeliverResponse
+		err := s.c.call("shard.deliver", ShardDeliverRequest{
+			Round: fr.Round, Msgs: fr.Delivered[off:end],
+		}, &resp)
+		if err != nil {
+			return 0, err
+		}
+	}
+	dead := make(map[int]bool, len(fr.Dead))
+	for _, c := range fr.Dead {
+		dead[c] = true
+	}
+	req := ShardFinishRequest{
+		Round:     fr.Round,
+		Removed:   fr.Removed,
+		Stranded:  fr.Stranded,
+		Epoch:     fr.Epoch,
+		NumChains: fr.NumChains,
+		Cur:       paramsSliceToWire(fr.Cur, dead),
+		Next:      paramsSliceToWire(fr.Next, dead),
+		Dead:      fr.Dead,
+	}
+	var resp ShardFinishResponse
+	if err := s.c.call("shard.finish", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Delivered, nil
+}
+
+// AbortRound implements core.GatewayShard. Best-effort: an
+// unreachable shard will reject resubmissions until its next
+// successful BeginRound, which is the same position a freshly
+// restarted shard is in.
+func (s *ShardClient) AbortRound(round uint64) {
+	var resp ack
+	_ = s.c.call("shard.abort", ShardAbortRequest{Round: round}, &resp)
+}
+
+// Rebalance implements core.GatewayShard.
+func (s *ShardClient) Rebalance(epoch uint64, numChains int) error {
+	var resp ack
+	return s.c.call("shard.rebalance", ShardRebalanceRequest{Epoch: epoch, NumChains: numChains}, &resp)
+}

@@ -1,0 +1,324 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/mix"
+)
+
+// ShardServer exposes one gateway shard (a core.Frontend) over TLS.
+// It serves two audiences on the same listener: users (registration,
+// parameter distribution, submission, mailbox download, status) and
+// the round coordinator (the shard.* methods carrying the
+// core.GatewayShard protocol; see shardwire.go). A production
+// deployment would put the coordinator methods behind mutual TLS;
+// here both share the endpoint's pinned certificate, matching how the
+// mix hop endpoints trust their orchestrator.
+type ShardServer struct {
+	*listenerCore
+	fe *core.Frontend
+
+	// mu guards the per-round scratch state below. The coordinator
+	// drives one round at a time, but user traffic is concurrent with
+	// it and a retried round replaces the previous attempt's state.
+	mu sync.Mutex
+	// chainLength is pushed at init; the shard itself never needs k,
+	// but its status endpoint reports it to clients.
+	chainLength int
+	// build caches the last BeginRound's result for the chunked
+	// shard.batch pulls.
+	buildRound uint64
+	build      *core.ShardBuild
+	// buffered accumulates shard.deliver chunks until shard.finish.
+	deliverRound uint64
+	buffered     [][]byte
+}
+
+// NewShardServer starts a TLS listener on addr serving the given
+// gateway shard.
+func NewShardServer(fe *core.Frontend, addr string) (*ShardServer, error) {
+	s := &ShardServer{fe: fe}
+	lc, err := newListenerCore(addr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.listenerCore = lc
+	return s, nil
+}
+
+// Frontend returns the shard this server fronts (for tests).
+func (s *ShardServer) Frontend() *core.Frontend { return s.fe }
+
+func (s *ShardServer) handle(method string, body []byte) ([]byte, error) {
+	switch method {
+	case "params":
+		var pr ParamsRequest
+		if err := decode(body, &pr); err != nil {
+			return nil, err
+		}
+		p, err := s.fe.ChainParams(pr.Chain, pr.Round)
+		if err != nil {
+			return nil, err
+		}
+		return encode(paramsToWire(p))
+
+	case "submit":
+		var sr SubmitRequest
+		if err := decode(body, &sr); err != nil {
+			return nil, err
+		}
+		out, err := submitFromWire(sr)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.fe.SubmitExternal(string(sr.Mailbox), out); err != nil {
+			return nil, err
+		}
+		return encode(SubmitResponse{Accepted: true})
+
+	case "fetch":
+		var fr FetchRequest
+		if err := decode(body, &fr); err != nil {
+			return nil, err
+		}
+		msgs := s.fe.FetchMailbox(fr.Round, fr.Mailbox)
+		return encode(FetchResponse{Messages: msgs})
+
+	case "register":
+		var rr RegisterRequest
+		if err := decode(body, &rr); err != nil {
+			return nil, err
+		}
+		registered := 0
+		for _, mb := range rr.Mailboxes {
+			if err := s.fe.Register(mb); err != nil {
+				return nil, fmt.Errorf("rpc: after %d registrations: %w", registered, err)
+			}
+			registered++
+		}
+		return encode(RegisterResponse{Registered: registered})
+
+	case "status":
+		rng := s.fe.Range()
+		resp := StatusResponse{
+			Round:   s.fe.Round(),
+			Epoch:   s.fe.Epoch(),
+			Role:    "gateway",
+			ShardLo: rng.Lo,
+			ShardHi: rng.Hi,
+			Users:   s.fe.NumUsers(),
+		}
+		s.mu.Lock()
+		resp.ChainLength = s.chainLength
+		s.mu.Unlock()
+		if plan := s.fe.Plan(); plan != nil {
+			resp.NumChains = plan.NumChains
+			resp.L = plan.L
+		}
+		return encode(resp)
+
+	case "shard.init":
+		var ir ShardInitRequest
+		if err := decode(body, &ir); err != nil {
+			return nil, err
+		}
+		rng := s.fe.Range()
+		if ir.Lo != rng.Lo || ir.Hi != rng.Hi {
+			return nil, fmt.Errorf("rpc: coordinator expects shard range %d:%d but this gateway owns %s", ir.Lo, ir.Hi, rng)
+		}
+		if ir.NumChains > 0 {
+			if err := s.fe.Rebalance(ir.Epoch, ir.NumChains); err != nil {
+				return nil, err
+			}
+		}
+		if ir.Round > 0 {
+			s.fe.SetRound(ir.Round)
+		}
+		cur, next, err := initParams(ir.Cur, ir.Next)
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) > 0 {
+			s.fe.SetParams(ir.Round, cur, next, ir.Dead)
+		}
+		s.mu.Lock()
+		s.chainLength = ir.ChainLength
+		s.mu.Unlock()
+		return encode(ShardInitResponse{Lo: rng.Lo, Hi: rng.Hi})
+
+	case "shard.begin":
+		var br ShardBeginRequest
+		if err := decode(body, &br); err != nil {
+			return nil, err
+		}
+		cur, next, err := initParams(br.Cur, br.Next)
+		if err != nil {
+			return nil, err
+		}
+		build, err := s.fe.BeginRound(&core.BeginRound{
+			Round:     br.Round,
+			Epoch:     br.Epoch,
+			NumChains: br.NumChains,
+			Cur:       cur,
+			Next:      next,
+			Dead:      br.Dead,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.buildRound = br.Round
+		s.build = build
+		// A retried round must not inherit the failed attempt's
+		// delivery buffer.
+		s.deliverRound = br.Round
+		s.buffered = nil
+		s.mu.Unlock()
+		resp := ShardBeginResponse{Covered: build.Covered, Skipped: build.Skipped}
+		resp.Counts = make([]int, len(build.Batches))
+		for c := range build.Batches {
+			resp.Counts[c] = len(build.Batches[c].Subs)
+		}
+		return encode(resp)
+
+	case "shard.batch":
+		var br ShardBatchRequest
+		if err := decode(body, &br); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		build := s.build
+		round := s.buildRound
+		s.mu.Unlock()
+		if build == nil || round != br.Round {
+			return nil, fmt.Errorf("rpc: no cached build for round %d", br.Round)
+		}
+		if br.Chain < 0 || br.Chain >= len(build.Batches) {
+			return nil, fmt.Errorf("rpc: no chain %d in build", br.Chain)
+		}
+		batch := build.Batches[br.Chain]
+		if br.Offset < 0 || br.Offset > len(batch.Subs) || br.Max <= 0 {
+			return nil, fmt.Errorf("rpc: bad batch window %d+%d of %d", br.Offset, br.Max, len(batch.Subs))
+		}
+		end := br.Offset + br.Max
+		if end > len(batch.Subs) {
+			end = len(batch.Subs)
+		}
+		resp := ShardBatchResponse{Submitters: batch.Submitters[br.Offset:end]}
+		resp.Subs = make([]WireSubmission, 0, end-br.Offset)
+		for _, sub := range batch.Subs[br.Offset:end] {
+			resp.Subs = append(resp.Subs, submissionToWire(br.Chain, sub))
+		}
+		return encode(resp)
+
+	case "shard.deliver":
+		var dr ShardDeliverRequest
+		if err := decode(body, &dr); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if s.deliverRound != dr.Round {
+			s.deliverRound = dr.Round
+			s.buffered = nil
+		}
+		s.buffered = append(s.buffered, dr.Msgs...)
+		buffered := len(s.buffered)
+		s.mu.Unlock()
+		return encode(ShardDeliverResponse{Buffered: buffered})
+
+	case "shard.finish":
+		var fr ShardFinishRequest
+		if err := decode(body, &fr); err != nil {
+			return nil, err
+		}
+		cur, next, err := initParams(fr.Cur, fr.Next)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		msgs := s.buffered
+		if s.deliverRound != fr.Round {
+			msgs = nil
+		}
+		s.buffered = nil
+		s.build = nil
+		s.mu.Unlock()
+		delivered, err := s.fe.FinishRound(&core.FinishRound{
+			Round:     fr.Round,
+			Delivered: msgs,
+			Removed:   fr.Removed,
+			Stranded:  fr.Stranded,
+			Epoch:     fr.Epoch,
+			NumChains: fr.NumChains,
+			Cur:       cur,
+			Next:      next,
+			Dead:      fr.Dead,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return encode(ShardFinishResponse{Delivered: delivered})
+
+	case "shard.abort":
+		var ar ShardAbortRequest
+		if err := decode(body, &ar); err != nil {
+			return nil, err
+		}
+		s.fe.AbortRound(ar.Round)
+		s.mu.Lock()
+		s.build = nil
+		s.buffered = nil
+		s.mu.Unlock()
+		return encode(ack{})
+
+	case "shard.rebalance":
+		var rr ShardRebalanceRequest
+		if err := decode(body, &rr); err != nil {
+			return nil, err
+		}
+		if err := s.fe.Rebalance(rr.Epoch, rr.NumChains); err != nil {
+			return nil, err
+		}
+		return encode(ack{})
+
+	default:
+		return nil, fmt.Errorf("rpc: unknown method %q", method)
+	}
+}
+
+// submitFromWire converts a SubmitRequest into the client round
+// output core expects, validating every group element.
+func submitFromWire(sr SubmitRequest) (*client.RoundOutput, error) {
+	out := &client.RoundOutput{Round: sr.Round}
+	for _, w := range sr.Current {
+		chain, sub, err := submissionFromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out.Current = append(out.Current, client.ChainMessage{Chain: chain, Sub: sub})
+	}
+	for _, w := range sr.Cover {
+		chain, sub, err := submissionFromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out.Cover = append(out.Cover, client.ChainMessage{Chain: chain, Sub: sub})
+	}
+	return out, nil
+}
+
+// initParams decodes a cur/next parameter snapshot pair.
+func initParams(curW, nextW []ParamsResponse) ([]mix.Params, []mix.Params, error) {
+	cur, err := paramsSliceFromWire(curW)
+	if err != nil {
+		return nil, nil, err
+	}
+	next, err := paramsSliceFromWire(nextW)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cur, next, nil
+}

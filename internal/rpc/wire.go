@@ -79,12 +79,35 @@ type FetchResponse struct {
 	Messages [][]byte
 }
 
-// StatusResponse describes the deployment.
+// StatusResponse describes the deployment as seen from one endpoint.
 type StatusResponse struct {
 	Round       uint64
 	NumChains   int
 	ChainLength int
 	L           int
+	// Epoch is the topology epoch; clients compare it across polls to
+	// notice a re-formation and rebuild against the new plan.
+	Epoch uint64
+	// Role distinguishes endpoint kinds: "coordinator" serves the full
+	// monolith API, "gateway" a shard of the user base.
+	Role string
+	// ShardLo/ShardHi are the registry-shard range a gateway shard
+	// owns ([0, 64) half-open); both zero on a coordinator.
+	ShardLo, ShardHi int
+	// Users is the registered, non-removed population behind this
+	// endpoint.
+	Users int
+}
+
+// RegisterRequest records mailbox identifiers with a gateway, in
+// batches so a large population can be registered in few exchanges.
+type RegisterRequest struct {
+	Mailboxes [][]byte
+}
+
+// RegisterResponse reports how many identifiers were accepted.
+type RegisterResponse struct {
+	Registered int
 }
 
 // RunRoundResponse summarises an executed round for the driver.
@@ -159,6 +182,37 @@ func paramsFromWire(w ParamsResponse) (mix.Params, error) {
 		return mix.Params{}, err
 	}
 	return p, nil
+}
+
+// paramsSliceToWire converts a per-chain parameter snapshot. Chains
+// in the dead set carry zero parameters (they failed to announce) and
+// are sent as empty entries.
+func paramsSliceToWire(ps []mix.Params, dead map[int]bool) []ParamsResponse {
+	out := make([]ParamsResponse, len(ps))
+	for c, p := range ps {
+		if dead[c] || p.InnerAggregate.IsIdentity() {
+			continue
+		}
+		out[c] = paramsToWire(p)
+	}
+	return out
+}
+
+// paramsSliceFromWire validates and converts a received snapshot;
+// empty entries (dead chains) stay zero.
+func paramsSliceFromWire(ws []ParamsResponse) ([]mix.Params, error) {
+	out := make([]mix.Params, len(ws))
+	for c, w := range ws {
+		if len(w.InnerAggregate) == 0 {
+			continue
+		}
+		p, err := paramsFromWire(w)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: chain %d params: %w", c, err)
+		}
+		out[c] = p
+	}
+	return out, nil
 }
 
 // submissionToWire converts a chain submission for transmission.

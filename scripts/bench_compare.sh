@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench_compare.sh — warn when a fresh benchmark run regresses against
+# the repo's latest committed baseline.
+#
+#   scripts/bench_compare.sh BENCH_ci.json
+#
+# The baseline is the set of committed BENCH_*.json archives (the
+# files are numbered BENCH_0001, BENCH_0002, ...; per benchmark the
+# newest archive carrying it wins, so loadgen archives and
+# microbenchmark archives coexist). Every benchmark present in both
+# reports has its users/s compared; a drop of more than 20% prints a
+# GitHub Actions ::warning:: annotation. Always exits 0: shared CI
+# runners are too noisy for a hard gate, the warning is for a human
+# to read.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fresh=${1:?usage: bench_compare.sh FRESH.json}
+# The fresh report may live in the repo root too (CI writes
+# BENCH_ci.json there) — never pick it as its own baseline.
+baselines=$(ls BENCH_*.json 2>/dev/null | grep -vxF "$(basename "$fresh")" | sort || true)
+if [ -z "$baselines" ]; then
+    echo "bench_compare: no committed BENCH_*.json baseline; nothing to compare"
+    exit 0
+fi
+if [ ! -s "$fresh" ]; then
+    echo "bench_compare: fresh report $fresh missing or empty" >&2
+    exit 1
+fi
+
+echo "bench_compare: baselines:" $baselines
+# shellcheck disable=SC2086 # the baseline list is word-split on purpose
+go run ./cmd/benchjson -compare -metric users/s -threshold 0.20 $baselines "$fresh"

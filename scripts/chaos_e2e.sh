@@ -2,14 +2,15 @@
 # chaos_e2e.sh — fault-injection deployment test: epoch recovery after
 # a mix process dies.
 #
-# Builds xrd-server and xrd-client, launches a gateway plus three
-# `-role mix` processes (one chain of 3, every position its own OS
-# process, identity-keyed via -mix-servers so epoch recovery is on),
-# delivers a round end to end, then SIGKILLs one mix process and keeps
-# driving rounds. The dead hop halts its chain (the round reports an
-# error and delivers nothing); the gateway must evict the dead server,
-# re-form the chain from the two survivors and resume delivery within
-# a bounded number of rounds — otherwise this script exits non-zero.
+# Builds xrd-server and xrd-client, launches a monolithic coordinator
+# plus three `-role mix` processes (one chain of 3, every position its
+# own OS process, identity-keyed via -mix-servers so epoch recovery is
+# on), delivers a round end to end, then SIGKILLs one mix process and
+# keeps driving rounds. The dead hop halts its chain (the round
+# reports an error and delivers nothing); the coordinator must evict
+# the dead server, re-form the chain from the two survivors and resume
+# delivery within a bounded number of rounds — otherwise this script
+# exits non-zero.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,7 +45,7 @@ wait_for_file() {
 }
 
 dump_logs() {
-    echo "--- gateway log ---" >&2; cat gw.log >&2
+    echo "--- coordinator log ---" >&2; cat gw.log >&2
     for i in 0 1 2; do echo "--- mix$i log ---" >&2; cat "mix$i.log" >&2; done
 }
 
@@ -62,8 +63,8 @@ for i in 0 1 2; do
     wait_for_file "mix$i.pem"
 done
 
-echo "== launching gateway (1 chain of 3, identity-keyed remotes, recovery on)"
-./xrd-server -role gateway -addr 127.0.0.1:7920 -servers 3 -chains 1 -k 3 \
+echo "== launching coordinator (1 chain of 3, identity-keyed remotes, recovery on)"
+./xrd-server -role coordinator -addr 127.0.0.1:7920 -servers 3 -chains 1 -k 3 \
     -interval 0 -cert-out gw.pem -mix-servers "$specs" >gw.log 2>&1 &
 pids+=($!)
 wait_for_file gw.pem
@@ -82,7 +83,7 @@ try_round() {
 echo "== round 1: healthy delivery"
 tries=25
 until try_round "hello before the crash"; do
-    # The gateway needs a moment after writing its certificate before
+    # The coordinator needs a moment after writing its certificate before
     # the listener serves; retry the first connection.
     tries=$((tries - 1))
     if [ "$tries" -le 0 ]; then
@@ -110,7 +111,7 @@ cat round.out || true
 echo "== recovery: delivery must resume within 6 rounds"
 recovered=""
 for attempt in 1 2 3 4 5 6; do
-    # A bare trigger advances the deployment: the gateway evicts the
+    # A bare trigger advances the deployment: the coordinator evicts the
     # dead server and re-forms the chain at the top of the next round.
     # Clients cannot submit into a halted epoch (cover building needs
     # the next round's announced keys), so the trigger has no users.

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # deploy_e2e.sh — multi-process deployment smoke test.
 #
-# Builds xrd-server and xrd-client, launches a gateway plus three
-# `-role mix` processes on localhost (one chain, every position a
-# separate OS process reached over the TLS hop transport), runs two
-# full rounds through xrd-client, and asserts end-to-end message
-# delivery each round. This is the honesty check for the distributed
-# chain path: if the hop transport regresses, the conversation dies
-# and this script exits non-zero.
+# Builds the binaries and launches a full sharded deployment on
+# localhost, every role a separate OS process:
+#
+#   coordinator (round driver, 1 chain of 3, all positions remote)
+#   2 gateway shards owning registry shards [0:32) and [32:64)
+#   3 `-role mix` processes reached over the TLS hop transport
+#
+# then runs two full rounds through xrd-client with -cross-shard, so
+# each round proves a message submitted on one gateway shard comes out
+# of a mailbox owned by the other — end-to-end coverage of the
+# coordinator round protocol (begin/batch/deliver/finish), the hop
+# transport, and cross-shard delivery routing. If any of those
+# regress, the conversation dies and this script exits non-zero.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,34 +59,55 @@ for i in 0 1 2; do
     wait_for_file "mix$i.pem"
 done
 
-echo "== launching gateway (1 chain of 3, all positions remote)"
-./xrd-server -role gateway -addr 127.0.0.1:7910 -servers 3 -chains 1 -k 3 \
-    -interval 0 -cert-out gw.pem -hops "$hops" >gw.log 2>&1 &
+echo "== launching 2 gateway shards"
+./xrd-server -role gateway -addr 127.0.0.1:7921 -shard-range 0:32 -cert-out gw1.pem >gw1.log 2>&1 &
 pids+=($!)
-wait_for_file gw.pem
+./xrd-server -role gateway -addr 127.0.0.1:7922 -shard-range 32:64 -cert-out gw2.pem >gw2.log 2>&1 &
+pids+=($!)
+wait_for_file gw1.pem
+wait_for_file gw2.pem
+gateways="127.0.0.1:7921=gw1.pem,127.0.0.1:7922=gw2.pem"
+
+echo "== launching coordinator (1 chain of 3, all positions remote, 2 gateway shards)"
+./xrd-server -role coordinator -addr 127.0.0.1:7910 -servers 3 -chains 1 -k 3 \
+    -interval 0 -cert-out coord.pem -hops "$hops" \
+    -gateways "0:32=127.0.0.1:7921=gw1.pem,32:64=127.0.0.1:7922=gw2.pem" >coord.log 2>&1 &
+pids+=($!)
+wait_for_file coord.pem
+
+dump_logs() {
+    echo "--- coordinator log ---" >&2; cat coord.log >&2
+    for f in gw1 gw2 mix0 mix1 mix2; do
+        echo "--- $f log ---" >&2; cat "$f.log" >&2
+    done
+}
 
 run_round() {
     local n=$1 msg="hello from round $1" out tries=25
-    # The gateway needs a moment after writing its certificate before
-    # the listener serves; retry the first connection.
+    # The coordinator needs a moment after writing its certificate
+    # before the listener serves; retry the first connection.
     while true; do
-        if out=$(./xrd-client -addr 127.0.0.1:7910 -cert gw.pem -msg "$msg" 2>&1); then
+        if out=$(./xrd-client -addr 127.0.0.1:7910 -cert coord.pem \
+                -gateways "$gateways" -cross-shard -msg "$msg" 2>&1); then
             break
         fi
         tries=$((tries - 1))
         if [ "$tries" -le 0 ]; then
             echo "round $n client failed:" >&2
             echo "$out" >&2
-            echo "--- gateway log ---" >&2; cat gw.log >&2
+            dump_logs
             exit 1
         fi
         sleep 0.2
     done
     echo "$out"
+    if ! grep -q "^cross-shard: " <<<"$out"; then
+        echo "round $n: users were not placed on different shards" >&2
+        exit 1
+    fi
     if ! grep -qF "bob reads: \"$msg\"" <<<"$out"; then
         echo "round $n: message not delivered" >&2
-        echo "--- gateway log ---" >&2; cat gw.log >&2
-        for i in 0 1 2; do echo "--- mix$i log ---" >&2; cat "mix$i.log" >&2; done
+        dump_logs
         exit 1
     fi
 }
@@ -90,4 +117,4 @@ run_round 1
 echo "== round 2"
 run_round 2
 
-echo "PASS: two rounds delivered end to end across 4 processes"
+echo "PASS: two cross-shard rounds delivered end to end across 6 processes"
