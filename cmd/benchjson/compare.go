@@ -5,73 +5,132 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 )
+
+// compareOpts selects what Compare watches and how strictly.
+type compareOpts struct {
+	// metric is the unit to compare, e.g. "users/s" or "ns/op".
+	metric string
+	// threshold is the relative change (fraction, e.g. 0.20) past
+	// which a benchmark counts as regressed.
+	threshold float64
+	// lowerBetter flips the regression direction: for ns/op-shaped
+	// metrics an increase is the regression, not a drop.
+	lowerBetter bool
+	// match, when non-nil, restricts the comparison to benchmarks
+	// whose (suffix-normalised) name matches.
+	match *regexp.Regexp
+	// hard emits ::error annotations instead of ::warning ones; the
+	// caller is expected to turn a non-zero regression count into a
+	// failing exit.
+	hard bool
+}
+
+// compareResult reports what Compare saw.
+type compareResult struct {
+	// regressions is the number of benchmarks past the threshold.
+	regressions int
+	// compared is the number of benchmarks present on both sides (a
+	// hard gate that compared nothing is a misconfigured gate).
+	compared int
+}
+
+// gomaxprocsSuffix is the "-8" style suffix `go test -bench` appends
+// to every benchmark name. It varies with the runner's core count, so
+// names are normalised before baseline lookup — otherwise an archive
+// written on one machine silently fails to match a run on another.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
 
 // Compare checks a fresh benchmark report against a baseline and
 // writes one line per shared benchmark carrying the watched metric.
-// A drop of more than threshold (fraction, e.g. 0.20) is flagged with
-// a "::warning::" prefix — the GitHub Actions annotation syntax — so
-// CI surfaces regressions on the run page without failing the build:
-// the bench job runs on shared runners whose absolute numbers are too
-// noisy for a hard gate, but a 20% drop in users/s is worth a human
-// look.
+// A change worse than opts.threshold (in the direction selected by
+// opts.lowerBetter) is flagged with a "::warning::" — or, under
+// opts.hard, "::error::" — prefix, the GitHub Actions annotation
+// syntax. The default warn-only mode exists because the bench job
+// runs on shared runners whose absolute numbers are too noisy for a
+// hard gate on throughput; the hard mode is for crypto
+// microbenchmarks whose ns/op is stable enough to gate on.
 //
-// Benchmarks present on only one side are reported informationally;
-// higher is assumed better for the watched metric (throughput-shaped,
-// like users/s or subs/s).
+// Benchmarks present on only one side are reported informationally.
 //
 // The baseline may span several archives (given oldest first): each
 // benchmark's reference value comes from the newest archive that
 // carries it, so a loadgen-only archive does not eclipse the
 // microbenchmark lineage in an older one.
-func Compare(w io.Writer, oldPaths []string, newPath, metric string, threshold float64) (regressions int, err error) {
+func Compare(w io.Writer, oldPaths []string, newPath string, opts compareOpts) (compareResult, error) {
+	var res compareResult
+	keep := func(name string) bool {
+		return opts.match == nil || opts.match.MatchString(name)
+	}
 	base := make(map[string]float64)
 	var baseOrder []string
 	for _, p := range oldPaths {
 		oldRep, err := loadReport(p)
 		if err != nil {
-			return 0, err
+			return res, err
 		}
 		for _, b := range oldRep.Benchmarks {
-			if v, ok := b.Metrics[metric]; ok && v > 0 {
-				if _, dup := base[b.Name]; !dup {
-					baseOrder = append(baseOrder, b.Name)
+			name := normalizeName(b.Name)
+			if !keep(name) {
+				continue
+			}
+			if v, ok := b.Metrics[opts.metric]; ok && v > 0 {
+				if _, dup := base[name]; !dup {
+					baseOrder = append(baseOrder, name)
 				}
-				base[b.Name] = v
+				base[name] = v
 			}
 		}
 	}
 	newRep, err := loadReport(newPath)
 	if err != nil {
-		return 0, err
+		return res, err
+	}
+	annotation := "warning"
+	if opts.hard {
+		annotation = "error"
 	}
 	seen := make(map[string]bool)
 	for _, b := range newRep.Benchmarks {
-		v, ok := b.Metrics[metric]
+		name := normalizeName(b.Name)
+		if !keep(name) {
+			continue
+		}
+		v, ok := b.Metrics[opts.metric]
 		if !ok {
 			continue
 		}
-		seen[b.Name] = true
-		old, ok := base[b.Name]
+		seen[name] = true
+		old, ok := base[name]
 		if !ok {
-			fmt.Fprintf(w, "benchjson: %s: %s=%.1f (no baseline)\n", b.Name, metric, v)
+			fmt.Fprintf(w, "benchjson: %s: %s=%.1f (no baseline)\n", name, opts.metric, v)
 			continue
 		}
+		res.compared++
 		change := (v - old) / old
-		line := fmt.Sprintf("%s: %s %.1f -> %.1f (%+.1f%%)", b.Name, metric, old, v, 100*change)
-		if change < -threshold {
-			regressions++
-			fmt.Fprintf(w, "::warning title=bench regression::%s exceeds the %.0f%% threshold\n", line, 100*threshold)
+		regressed := change < -opts.threshold
+		if opts.lowerBetter {
+			regressed = change > opts.threshold
+		}
+		line := fmt.Sprintf("%s: %s %.1f -> %.1f (%+.1f%%)", name, opts.metric, old, v, 100*change)
+		if regressed {
+			res.regressions++
+			fmt.Fprintf(w, "::%s title=bench regression::%s exceeds the %.0f%% threshold\n", annotation, line, 100*opts.threshold)
 		} else {
 			fmt.Fprintf(w, "benchjson: %s\n", line)
 		}
 	}
 	for _, name := range baseOrder {
 		if !seen[name] {
-			fmt.Fprintf(w, "benchjson: %s: dropped from this run (baseline %s=%.1f)\n", name, metric, base[name])
+			fmt.Fprintf(w, "benchjson: %s: dropped from this run (baseline %s=%.1f)\n", name, opts.metric, base[name])
 		}
 	}
-	return regressions, nil
+	return res, nil
 }
 
 func loadReport(path string) (*Report, error) {

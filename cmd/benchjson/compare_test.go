@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -36,12 +37,15 @@ func TestCompare(t *testing.T) {
 	}})
 
 	var out strings.Builder
-	n, err := Compare(&out, []string{old}, fresh, "users/s", 0.20)
+	res, err := Compare(&out, []string{old}, fresh, compareOpts{metric: "users/s", threshold: 0.20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Fatalf("got %d regressions, want 1:\n%s", n, out.String())
+	if res.regressions != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", res.regressions, out.String())
+	}
+	if res.compared != 2 {
+		t.Fatalf("got %d compared, want 2:\n%s", res.compared, out.String())
 	}
 	got := out.String()
 	for _, want := range []string{
@@ -73,12 +77,12 @@ func TestCompareLayeredBaselines(t *testing.T) {
 		{Name: "B", Metrics: map[string]float64{"users/s": 50}},  // -50% vs old2: regression
 	}})
 	var out strings.Builder
-	n, err := Compare(&out, []string{old1, old2}, fresh, "users/s", 0.20)
+	res, err := Compare(&out, []string{old1, old2}, fresh, compareOpts{metric: "users/s", threshold: 0.20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Fatalf("got %d regressions, want 1:\n%s", n, out.String())
+	if res.regressions != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", res.regressions, out.String())
 	}
 	if !strings.Contains(out.String(), "B: users/s 100.0 -> 50.0") {
 		t.Errorf("B should compare against the newest baseline:\n%s", out.String())
@@ -94,11 +98,72 @@ func TestCompareWithinThreshold(t *testing.T) {
 		{Name: "B", Metrics: map[string]float64{"users/s": 81}},
 	}})
 	var out strings.Builder
-	n, err := Compare(&out, []string{old}, fresh, "users/s", 0.20)
+	res, err := Compare(&out, []string{old}, fresh, compareOpts{metric: "users/s", threshold: 0.20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 {
+	if res.regressions != 0 {
 		t.Fatalf("19%% drop should be within a 20%% threshold:\n%s", out.String())
+	}
+}
+
+// TestCompareLowerBetter gates an ns/op-shaped metric: an increase is
+// the regression and a decrease is an improvement, never flagged.
+func TestCompareLowerBetter(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		{Name: "ScalarBaseMult", Metrics: map[string]float64{"ns/op": 8000}},
+		{Name: "MultiScalarMult/n=256", Metrics: map[string]float64{"ns/op": 1000}},
+	}})
+	fresh := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		{Name: "ScalarBaseMult", Metrics: map[string]float64{"ns/op": 11000}},      // +37.5%: regression
+		{Name: "MultiScalarMult/n=256", Metrics: map[string]float64{"ns/op": 500}}, // -50%: improvement
+	}})
+	var out strings.Builder
+	res, err := Compare(&out, []string{old}, fresh, compareOpts{
+		metric: "ns/op", threshold: 0.25, lowerBetter: true, hard: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.regressions != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", res.regressions, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "::error title=bench regression::ScalarBaseMult") {
+		t.Errorf("hard mode should emit ::error annotations:\n%s", got)
+	}
+	if strings.Contains(got, "::error title=bench regression::MultiScalarMult") {
+		t.Errorf("a latency improvement must not be flagged:\n%s", got)
+	}
+}
+
+// TestCompareMatchAndSuffix restricts the gate with -match and checks
+// that the runner's -N GOMAXPROCS suffix does not break the baseline
+// lookup: an archive written on one machine must match a fresh run on
+// a machine with a different core count.
+func TestCompareMatchAndSuffix(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		{Name: "ScalarBaseMult", Metrics: map[string]float64{"ns/op": 8000}},
+		{Name: "LoadgenRound/a", Metrics: map[string]float64{"ns/op": 100}},
+	}})
+	fresh := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		{Name: "ScalarBaseMult-16", Metrics: map[string]float64{"ns/op": 99000}}, // regression, behind a -16 suffix
+		{Name: "LoadgenRound/a", Metrics: map[string]float64{"ns/op": 99000}},    // excluded by -match
+	}})
+	var out strings.Builder
+	res, err := Compare(&out, []string{old}, fresh, compareOpts{
+		metric: "ns/op", threshold: 0.25, lowerBetter: true,
+		match: regexp.MustCompile(`^ScalarBaseMult`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.compared != 1 || res.regressions != 1 {
+		t.Fatalf("got compared=%d regressions=%d, want 1/1:\n%s", res.compared, res.regressions, out.String())
+	}
+	if strings.Contains(out.String(), "LoadgenRound") {
+		t.Errorf("-match should exclude non-matching benchmarks entirely:\n%s", out.String())
 	}
 }

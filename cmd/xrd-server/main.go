@@ -86,6 +86,7 @@ func main() {
 		gateways   = flag.String("gateways", "", `remote gateway shards as "lo:hi=addr=certfile,..." partitioning the 64 registry shards (coordinator role)`)
 		shardRange = flag.String("shard-range", "0:64", `registry-shard range this gateway owns, as "lo:hi" (gateway role)`)
 		recoverOn  = flag.Bool("recover", false, "evict blamed servers and re-form chains after a halt (on by default with -mix-servers)")
+		pipeline   = flag.Int("pipeline", 1, "round pipeline depth: 2 overlaps the next round's build with the current mix (coordinator role)")
 		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "delay,target=srv1,delay=2s,after=3;drop,target=srv2" (see internal/faults)`)
 		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for -faults probability coins")
 	)
@@ -117,6 +118,7 @@ func main() {
 			serverSpec:  *mixServers,
 			gatewaySpec: *gateways,
 			recover:     *recoverOn || *mixServers != "",
+			pipeline:    *pipeline,
 			inj:         inj,
 		})
 	case "gateway":
@@ -192,6 +194,7 @@ type coordinatorOpts struct {
 	serverSpec      string // server-identity-keyed remote mixes
 	gatewaySpec     string // shard-range-keyed remote gateways
 	recover         bool
+	pipeline        int
 	inj             *faults.Injector
 }
 
@@ -230,6 +233,7 @@ func runCoordinator(o coordinatorOpts) {
 		MailboxServers:      o.boxes,
 		Workers:             o.workers,
 		Recover:             o.recover,
+		PipelineDepth:       o.pipeline,
 	}
 	var shardClients []*rpc.ShardClient
 	for _, gs := range gwSpecs {

@@ -32,6 +32,7 @@ func main() {
 		attack    = flag.Bool("attack", false, "corrupt one server with a product-preserving tamper")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		workers   = flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS)")
+		pipeline  = flag.Int("pipeline", 1, "round pipeline depth: 2 overlaps the next round's build with the current mix")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		ChainLengthOverride: *k,
 		Seed:                []byte("xrd-sim"),
 		Workers:             *workers,
+		PipelineDepth:       *pipeline,
 	})
 	if err != nil {
 		log.Fatalf("assembling network: %v", err)

@@ -86,6 +86,24 @@ type User struct {
 	// notably a former partner's banked cover messages arriving a
 	// round after the offline signal — still decrypt.
 	former []group.Point
+
+	// drained records the conversation bodies each recent build
+	// consumed from the outbox, keyed by round. Rebalance marks every
+	// record stale: the builds that drained them were wrapped against
+	// the old epoch's chains, so a pipelining coordinator discards
+	// them — and when a stale record's round is then rebuilt, its
+	// bodies are pushed back to the front of the queue first (rounds
+	// execute in order, so rebuilding round ρ proves no round ≥ ρ
+	// ever ran, and those bodies would otherwise be silently lost).
+	drained map[uint64]*drainRecord
+}
+
+// drainRecord is the outbox bodies one round's build consumed.
+type drainRecord struct {
+	bodies map[string][]byte
+	// stale is set by Rebalance: the build that drained these bodies
+	// predates an epoch re-formation and may never have executed.
+	stale bool
 }
 
 // NewUser creates a user with a fresh identity key pair. A nil scheme
@@ -261,6 +279,12 @@ func (u *User) Rebalance(plan *chainsel.Plan) (dropped []group.Point) {
 	old := u.partners
 	u.plan = plan
 	u.partners = make(map[int]group.Point, len(old))
+	// Builds made so far were wrapped against the old epoch's chain
+	// keys, so any of them not yet executed will be rebuilt; mark
+	// their drained bodies restorable.
+	for _, d := range u.drained {
+		d.stale = true
+	}
 
 	// Deterministic order: both ends of every conversation, and every
 	// replica of this user, resolve clashes identically.
@@ -303,7 +327,14 @@ type RoundOutput struct {
 // covers for round rho+1. Chain parameters for both rounds must be
 // available from src (the coordinator announces round ρ+1's inner
 // keys during round ρ).
+//
+// A build's submissions are only valid for the epoch they were built
+// in, so the caller (the gateway shard for in-process users) reuses a
+// round's output on a same-epoch retry rather than calling BuildRound
+// twice; after an epoch re-formation the round is rebuilt here, and
+// the bodies its stale predecessor drained are restored first.
 func (u *User) BuildRound(rho uint64, src ParamsSource) (*RoundOutput, error) {
+	u.restoreDrained(rho)
 	cur, err := u.buildLane(rho, LaneCurrent, src)
 	if err != nil {
 		return nil, fmt.Errorf("client: building round %d: %w", rho, err)
@@ -312,7 +343,33 @@ func (u *User) BuildRound(rho uint64, src ParamsSource) (*RoundOutput, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: building covers for round %d: %w", rho+1, err)
 	}
+	for r := range u.drained {
+		if r+2 <= rho {
+			delete(u.drained, r)
+		}
+	}
 	return &RoundOutput{Round: rho, Current: cur, Cover: cover}, nil
+}
+
+// restoreDrained pushes back every outbox body consumed by a stale
+// build for round rho or later. It runs when rho is built fresh,
+// which proves no round ≥ rho has executed — whatever those stale
+// builds drained was never delivered. Later rounds' bodies are
+// restored first so the queue ends up in original send order.
+func (u *User) restoreDrained(rho uint64) {
+	var rounds []uint64
+	for r, d := range u.drained {
+		if r >= rho && d.stale {
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] > rounds[j] })
+	for _, r := range rounds {
+		for pk, body := range u.drained[r].bodies {
+			u.outbox[pk] = append([][]byte{body}, u.outbox[pk]...)
+		}
+		delete(u.drained, r)
+	}
 }
 
 // buildLane constructs the ℓ messages of one lane for the given
@@ -337,7 +394,7 @@ func (u *User) buildLane(round uint64, lane byte, src ParamsSource) ([]ChainMess
 		var msg []byte
 		if partner, ok := u.partners[chain]; ok && !used[chain] {
 			used[chain] = true
-			msg, err = u.conversationMessage(partner, lane, mailboxNonce)
+			msg, err = u.conversationMessage(round, partner, lane, mailboxNonce)
 		} else {
 			msg, err = u.loopbackMessage(chain, mailboxNonce)
 		}
@@ -355,8 +412,10 @@ func (u *User) buildLane(round uint64, lane byte, src ParamsSource) ([]ChainMess
 
 // conversationMessage builds the message for one partner: a fresh
 // body from that partner's outbox (possibly empty) for the current
-// lane, or the KindOffline signal for the cover lane.
-func (u *User) conversationMessage(partner group.Point, lane byte, nonce [aead.NonceSize]byte) ([]byte, error) {
+// lane, or the KindOffline signal for the cover lane. A popped body
+// is recorded in drained so a discarded build's bodies can be
+// restored (see restoreDrained).
+func (u *User) conversationMessage(round uint64, partner group.Point, lane byte, nonce [aead.NonceSize]byte) ([]byte, error) {
 	shared := group.DH(partner, u.identity.Private)
 	key := kdf.ConversationKey(shared, partner.Bytes())
 	payload := onion.Payload{Kind: onion.KindConversation}
@@ -367,6 +426,13 @@ func (u *User) conversationMessage(partner group.Point, lane byte, nonce [aead.N
 		if q := u.outbox[pk]; len(q) > 0 {
 			payload.Body = q[0]
 			u.outbox[pk] = q[1:]
+			if u.drained == nil {
+				u.drained = make(map[uint64]*drainRecord, 2)
+			}
+			if u.drained[round] == nil {
+				u.drained[round] = &drainRecord{bodies: make(map[string][]byte, 1)}
+			}
+			u.drained[round].bodies[pk] = payload.Body
 		}
 	}
 	return onion.SealMailboxMessage(u.scheme, key, nonce, partner, payload)

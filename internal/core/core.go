@@ -118,6 +118,17 @@ type Config struct {
 	// positions additionally need HopForServer so re-formed chains can
 	// reference them.
 	Recover bool
+	// PipelineDepth bounds how many rounds may be in flight at once.
+	// 0 or 1 runs rounds strictly serially. 2 overlaps round ρ+1's
+	// preparation — key announcement, parameter snapshot, onion
+	// building, external collection — with round ρ's mix, trading one
+	// round of submission-window latency for round-rate throughput:
+	// round ρ+1's submission window closes when its build starts,
+	// while ρ is still mixing, so traffic queued after that rides
+	// round ρ+2. Values above 2 are clamped to 2: preparing ρ+2 needs
+	// ρ+1's finish state, so one round of lookahead is the maximum
+	// overlap the begin/finish shard protocol admits.
+	PipelineDepth int
 }
 
 // Network is the round coordinator of an XRD deployment. With the
@@ -140,6 +151,10 @@ type Network struct {
 
 	// runMu serialises RunRound executions.
 	runMu sync.Mutex
+	// pending is the round prepared ahead of time under
+	// Config.PipelineDepth ≥ 2, awaiting validation and execution by
+	// the next RunRound. Guarded by runMu.
+	pending *preparedRound
 
 	// evictor records servers expelled across epochs (Config.Recover).
 	evictor *churn.Evictor
@@ -697,61 +712,147 @@ func snapshotParams(chains []*mix.Chain, rho uint64, dead map[int]bool) (*roundP
 	return p, nil
 }
 
-// RunRound executes the upcoming round and advances the round
-// counter. The coordinator's view of the pipeline: announce this
-// round's keys; push the round parameters to every gateway shard and
-// collect their per-chain batches (each shard builds its own users in
-// parallel over its worker pool); mix every chain in parallel (they
-// are independent local mix-nets, §4.2); fan the delivered mailbox
-// messages back out to the shard owning each recipient, along with
-// the blame verdicts and stranded-user records. Blamed users are
-// removed from the network before the next round. Concurrent RunRound
-// calls are serialised.
-//
-// With Config.Recover set, RunRound additionally performs epoch
-// recovery: servers blamed by a previous round (a halted chain, a
-// failed announce) are evicted and the chains re-formed over the
-// survivors before this round executes, and chains that cannot
-// announce this round's keys run dead — their users are stranded for
-// the round (see StrandedError) rather than wedging the deployment.
-// A gateway shard that fails its round-begin call is dead for the
-// round: it contributes no traffic and the round proceeds without it.
-func (n *Network) RunRound() (*RoundReport, error) {
-	n.runMu.Lock()
-	defer n.runMu.Unlock()
+// preparedRound is the output of a round's preparation half: keys
+// announced, parameters snapshotted, every shard's users built and
+// the per-chain batches merged — everything up to (but not including)
+// the mix. RunRound prepares and executes back to back; with
+// Config.PipelineDepth ≥ 2 the next round's preparation runs while
+// the current round mixes, and the prepared state is re-validated
+// before execution (round number, epoch, convicted submitters).
+type preparedRound struct {
+	rho   uint64
+	epoch uint64
+	topo  *topology.Topology
+	// chains is the topology snapshot the round was prepared against;
+	// execution must run over the same snapshot.
+	chains []*mix.Chain
+	report *RoundReport
+	// dead marks chains that failed to announce; deadShards marks
+	// gateway shards that failed their round-begin call.
+	dead       map[int]bool
+	deadShards map[int]bool
+	batches    []ChainBatch
+	// skipped are users stranded at build time (a dead chain among
+	// their ℓ chains).
+	skipped []string
+	// injected holds the fault-injection submissions consumed by this
+	// preparation, so a discarded preparation can return them to the
+	// queue.
+	injected map[int][]onion.Submission
+}
 
-	// Epoch recovery: expel the servers blamed since the last round
-	// and re-form chains over the survivors before this round runs
-	// (halt → blame → evict → re-form → resume).
-	var reformed bool
-	var evicted []int
-	if n.cfg.Recover {
-		n.mu.Lock()
-		pending := len(n.pendingEvict) > 0
-		n.mu.Unlock()
-		if pending {
-			var err error
-			evicted, err = n.reform()
-			if err != nil {
-				return nil, err
+// dropSubmitters filters every batch entry whose submitter is in the
+// convicted set. A pipelined preparation assembles its batches before
+// the overlapping round's blame verdicts land, and a removed user's
+// traffic must never run (§6.4).
+func (p *preparedRound) dropSubmitters(convicted []string) {
+	if len(convicted) == 0 {
+		return
+	}
+	bad := make(map[string]bool, len(convicted))
+	for _, who := range convicted {
+		bad[who] = true
+	}
+	for c := range p.batches {
+		b := &p.batches[c]
+		subs, submitters := b.Subs[:0], b.Submitters[:0]
+		for i, who := range b.Submitters {
+			if bad[who] {
+				continue
 			}
-			reformed = len(evicted) > 0
+			subs = append(subs, b.Subs[i])
+			submitters = append(submitters, who)
+		}
+		b.Subs, b.Submitters = subs, submitters
+	}
+}
+
+// maybeReform performs epoch recovery if evictions are pending: expel
+// the servers blamed since the last round and re-form chains over the
+// survivors (halt → blame → evict → re-form → resume). Callers hold
+// runMu.
+func (n *Network) maybeReform() (reformed bool, evicted []int, err error) {
+	if !n.cfg.Recover {
+		return false, nil, nil
+	}
+	n.mu.Lock()
+	pending := len(n.pendingEvict) > 0
+	n.mu.Unlock()
+	if !pending {
+		return false, nil, nil
+	}
+	if evicted, err = n.reform(); err != nil {
+		return false, nil, err
+	}
+	return len(evicted) > 0, evicted, nil
+}
+
+// pipelineDepth normalises Config.PipelineDepth: 1 is serial, 2 the
+// maximum overlap (see the Config field).
+func (n *Network) pipelineDepth() int {
+	d := n.cfg.PipelineDepth
+	if d < 1 {
+		return 1
+	}
+	if d > 2 {
+		return 2
+	}
+	return d
+}
+
+// restoreInjected returns consumed fault-injection submissions to the
+// front of the queue (a preparation that will not execute).
+func (n *Network) restoreInjected(injected map[int][]onion.Submission) {
+	if len(injected) == 0 {
+		return
+	}
+	n.mu.Lock()
+	for c, subs := range injected {
+		n.injected[c] = append(append([]onion.Submission{}, subs...), n.injected[c]...)
+	}
+	n.mu.Unlock()
+}
+
+// discardPrepared rolls back a prepared round that will not execute:
+// the live shards' submission windows reopen (external users resubmit
+// for the retried or re-formed round) and injected submissions return
+// to the queue. In-process users' builds are cached per round
+// (client.User.BuildRound is idempotent), so their queued message
+// bodies survive the discard.
+func (n *Network) discardPrepared(p *preparedRound) {
+	for i, sh := range n.shards {
+		if !p.deadShards[i] {
+			sh.AbortRound(p.rho)
 		}
 	}
+	n.restoreInjected(p.injected)
+}
 
+// prepareRound runs the preparation half of round rho: announce the
+// keys the round needs, snapshot the live chains' parameters, fan the
+// build out to every gateway shard and merge the per-chain batches.
+// It advances no state other than consuming the injected-submission
+// queue and closing the shards' submission windows — both rolled back
+// by discardPrepared if the preparation is abandoned — so it is safe
+// to run while the previous round is still mixing.
+func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 	n.mu.Lock()
-	rho := n.round
 	epoch := n.epoch
 	injected := n.injected
 	n.injected = make(map[int][]onion.Submission)
-	failed := make(map[int]bool, len(n.failedServers))
-	for s := range n.failedServers {
-		failed[s] = true
-	}
 	topo, chains := n.topo, n.chains
 	n.mu.Unlock()
 
-	report := &RoundReport{Round: rho, Epoch: epoch, Reformed: reformed, Evicted: evicted}
+	p := &preparedRound{
+		rho:        rho,
+		epoch:      epoch,
+		topo:       topo,
+		chains:     chains,
+		report:     &RoundReport{Round: rho, Epoch: epoch},
+		dead:       make(map[int]bool),
+		deadShards: make(map[int]bool),
+		injected:   injected,
+	}
 
 	// Re-announce the rounds this execution needs. BeginRound is
 	// idempotent, so on the happy path this is a map hit per chain;
@@ -761,15 +862,14 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	// round: it is excluded from the parameter snapshot, the shards
 	// strand its users, and — when the failure is attributable to a
 	// position — the server behind it is queued for eviction.
-	dead := make(map[int]bool)
 	noteDead := func(errs []error) {
 		for c, err := range errs {
 			if err == nil {
 				continue
 			}
-			if !dead[c] {
-				dead[c] = true
-				report.DeadChains = append(report.DeadChains, c)
+			if !p.dead[c] {
+				p.dead[c] = true
+				p.report.DeadChains = append(p.report.DeadChains, c)
 			}
 			n.attributeHopError(topo, err)
 		}
@@ -782,8 +882,9 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	// worker pool, folds in collected external traffic and closes its
 	// submission window for the round. A shard erroring here is dead
 	// for the round: only its users are missing from the batches.
-	snap, err := snapshotParams(chains, rho, dead)
+	snap, err := snapshotParams(chains, rho, p.dead)
 	if err != nil {
+		n.restoreInjected(injected)
 		return nil, err
 	}
 	br := &BeginRound{
@@ -806,18 +907,17 @@ func (n *Network) RunRound() (*RoundReport, error) {
 	}
 	beginWG.Wait()
 
-	deadShards := make(map[int]bool)
-	var skipped []string
 	for i := range n.shards {
 		if beginErrs[i] != nil {
-			deadShards[i] = true
-			report.DeadShards = append(report.DeadShards, i)
+			p.deadShards[i] = true
+			p.report.DeadShards = append(p.report.DeadShards, i)
 			continue
 		}
-		report.OfflineCovered += builds[i].Covered
-		skipped = append(skipped, builds[i].Skipped...)
+		p.report.OfflineCovered += builds[i].Covered
+		p.skipped = append(p.skipped, builds[i].Skipped...)
 	}
-	if len(deadShards) == len(n.shards) {
+	if len(p.deadShards) == len(n.shards) {
+		n.restoreInjected(injected)
 		return nil, fmt.Errorf("core: every gateway shard failed round %d begin: %w", rho, errors.Join(beginErrs...))
 	}
 
@@ -848,6 +948,131 @@ func (n *Network) RunRound() (*RoundReport, error) {
 			batches[chain].add(sub, fmt.Sprintf("injected:%d", chain))
 		}
 	}
+	p.batches = batches
+	return p, nil
+}
+
+// RunRound executes the upcoming round and advances the round
+// counter. The coordinator's view of the pipeline: announce this
+// round's keys; push the round parameters to every gateway shard and
+// collect their per-chain batches (each shard builds its own users in
+// parallel over its worker pool); mix every chain in parallel (they
+// are independent local mix-nets, §4.2); fan the delivered mailbox
+// messages back out to the shard owning each recipient, along with
+// the blame verdicts and stranded-user records. Blamed users are
+// removed from the network before the next round. Concurrent RunRound
+// calls are serialised.
+//
+// With Config.Recover set, RunRound additionally performs epoch
+// recovery: servers blamed by a previous round (a halted chain, a
+// failed announce) are evicted and the chains re-formed over the
+// survivors before this round executes, and chains that cannot
+// announce this round's keys run dead — their users are stranded for
+// the round (see StrandedError) rather than wedging the deployment.
+// A gateway shard that fails its round-begin call is dead for the
+// round: it contributes no traffic and the round proceeds without it.
+//
+// With Config.PipelineDepth ≥ 2, round ρ+1's preparation — key
+// announcement, parameter snapshot, onion building — overlaps round
+// ρ's mix. The prepared round is re-validated before it executes:
+// a round retry or an epoch re-formation discards it (submission
+// windows reopen, injected submissions return to the queue, and the
+// per-round build cache in client.User keeps queued bodies safe), and
+// submitters convicted by the overlapped round are filtered from its
+// batches.
+func (n *Network) RunRound() (*RoundReport, error) {
+	n.runMu.Lock()
+	defer n.runMu.Unlock()
+
+	reformed, evicted, err := n.maybeReform()
+	if err != nil {
+		return nil, err
+	}
+
+	n.mu.Lock()
+	rho, epoch := n.round, n.epoch
+	n.mu.Unlock()
+
+	// Adopt the round prepared during the previous execution if it is
+	// still valid: the same round (the previous round may have failed
+	// and be up for retry under its old number) in the same epoch (a
+	// re-formation invalidates every prebuilt onion).
+	p := n.pending
+	n.pending = nil
+	if p != nil && (reformed || p.rho != rho || p.epoch != epoch) {
+		n.discardPrepared(p)
+		p = nil
+	}
+	if p == nil {
+		if p, err = n.prepareRound(rho); err != nil {
+			return nil, err
+		}
+	}
+	p.report.Reformed = reformed
+	p.report.Evicted = evicted
+
+	// Overlap the next round's preparation with this round's mix. The
+	// round-ρ+1 and ρ+2 key announcements and the shards' round-ρ+1
+	// builds run while round ρ's chains mix; chain key state is
+	// guarded for exactly this concurrency (mix.Chain.keyMu,
+	// mix.Server.innerMu, the three-round inner-key retention window).
+	type prepOutcome struct {
+		p   *preparedRound
+		err error
+	}
+	var nextCh chan prepOutcome
+	if n.pipelineDepth() > 1 {
+		nextCh = make(chan prepOutcome, 1)
+		go func() {
+			np, err := n.prepareRound(rho + 1)
+			nextCh <- prepOutcome{p: np, err: err}
+		}()
+	}
+
+	report, execErr := n.executeRound(p)
+
+	if nextCh != nil {
+		out := <-nextCh
+		switch {
+		case out.err != nil:
+			// Preparation failed (every shard dead, snapshot failure);
+			// its side effects are already rolled back. The next
+			// RunRound prepares afresh and reports the condition.
+		case report == nil:
+			// This round failed outright and will be retried under the
+			// same number; the prebuild is for the wrong round.
+			n.discardPrepared(out.p)
+		default:
+			out.p.dropSubmitters(report.BlamedUsers)
+			n.pending = out.p
+		}
+	}
+	// A pending eviction means the next RunRound re-forms chains
+	// first, invalidating every prebuilt onion; discard now so the
+	// shards' submission windows reopen immediately.
+	if n.pending != nil && n.cfg.Recover {
+		n.mu.Lock()
+		evictPending := len(n.pendingEvict) > 0
+		n.mu.Unlock()
+		if evictPending {
+			n.discardPrepared(n.pending)
+			n.pending = nil
+		}
+	}
+	return report, execErr
+}
+
+// executeRound runs the mix, aggregation and delivery halves of a
+// prepared round and advances the round counter. On an orchestration
+// failure the shards' submission windows are rolled back and the
+// round stays current, so the caller can retry it.
+func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
+	rho, epoch := p.rho, p.epoch
+	topo, chains := p.topo, p.chains
+	report := p.report
+	dead, deadShards := p.dead, p.deadShards
+	batches, skipped := p.batches, p.skipped
+
 	// abortShards rolls the live shards' submission windows back if
 	// the round fails after collection: the round will be retried, so
 	// external users must be able to resubmit for it (their collected
@@ -859,6 +1084,17 @@ func (n *Network) RunRound() (*RoundReport, error) {
 			}
 		}
 	}
+
+	// The failed-server set is read at execution time, not at
+	// preparation time, so a crash reported while a pipelined
+	// preparation was in flight still fails the chains of the round
+	// being executed — the same view a serial round would have had.
+	n.mu.Lock()
+	failed := make(map[int]bool, len(n.failedServers))
+	for s := range n.failedServers {
+		failed[s] = true
+	}
+	n.mu.Unlock()
 
 	failedChains := make(map[int]bool)
 	for _, c := range topo.FailedChains(failed) {

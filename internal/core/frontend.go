@@ -217,6 +217,7 @@ func (f *Frontend) Rebalance(epoch uint64, numChains int) error {
 			}
 			ru.cover = nil
 			ru.coverRound = 0
+			ru.built = nil
 			ru.u.Rebalance(plan)
 		}
 		sh.mu.Unlock()
@@ -355,6 +356,7 @@ func (f *Frontend) BeginRound(br *BeginRound) (*ShardBuild, error) {
 				if !ru.removed && ru.u != nil {
 					ru.cover = nil
 					ru.coverRound = 0
+					ru.built = nil
 					ru.u.Rebalance(plan)
 				}
 			}
@@ -526,14 +528,17 @@ func (f *Frontend) buildShard(sh *userShard, rho uint64, src client.ParamsSource
 			}
 		}
 		if ru.online {
-			out, err := ru.u.BuildRound(rho, src)
-			if err != nil {
-				return fmt.Errorf("core: user build failed: %w", err)
+			if ru.built == nil || ru.builtRound != rho {
+				out, err := ru.u.BuildRound(rho, src)
+				if err != nil {
+					return fmt.Errorf("core: user build failed: %w", err)
+				}
+				ru.built, ru.builtRound = out, rho
 			}
-			for _, cm := range out.Current {
+			for _, cm := range ru.built.Current {
 				acc.batches[cm.Chain].add(cm.Sub, key)
 			}
-			ru.cover = out.Cover
+			ru.cover = ru.built.Cover
 			ru.coverRound = rho + 1
 			continue
 		}

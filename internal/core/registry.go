@@ -44,6 +44,16 @@ type registeredUser struct {
 	// round coverRound if the user is offline (§5.3.3).
 	cover      []client.ChainMessage
 	coverRound uint64
+	// built is the user's most recent round output and the round it
+	// was built for, reused verbatim when the coordinator re-begins
+	// the same round: a failed round retried under its old number, or
+	// a pipelined preparation that was discarded and re-requested. A
+	// user's outbox drains at build time, so rebuilding would lose
+	// queued bodies; reuse keeps the resubmission byte-identical.
+	// Cleared on Rebalance — an epoch re-formation invalidates the
+	// onions — whereupon client.User restores the drained bodies.
+	built      *client.RoundOutput
+	builtRound uint64
 	// coversUsed records that the covers ran while the user was away:
 	// the KindOffline signal went out and the partner reverted to
 	// loopbacks, so on reconnection the user's conversation is over

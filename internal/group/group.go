@@ -209,13 +209,18 @@ func Generator() Point {
 // Identity returns the identity element (point at infinity).
 func Identity() Point { return Point{} }
 
-// Base returns g^s, the generator raised to scalar s.
+// Base returns g^s, the generator raised to scalar s. It runs on the
+// precomputed signed-window tables of fixedbase.go (one mixed
+// addition per 13-bit window, no doublings), which is several times
+// faster than crypto/elliptic's ScalarBaseMult; callers producing
+// many points at once should prefer BatchBase, which also amortizes
+// the final inversion. See fixedbase.go for the variable-time
+// trade-off discussion.
 func Base(s Scalar) Point {
 	if s.IsZero() {
 		return Point{}
 	}
-	x, y := curve.ScalarBaseMult(s.Bytes())
-	return Point{x, y}
+	return fixedBaseMult(s)
 }
 
 // ParsePoint decodes a compressed 33-byte point encoding as produced
@@ -295,6 +300,11 @@ func (p Point) Mul(s Scalar) Point {
 	if p.IsIdentity() || s.IsZero() {
 		return Point{}
 	}
+	if pp := curve.Params(); p.x.Cmp(pp.Gx) == 0 && p.y.Cmp(pp.Gy) == 0 {
+		// NIZK provers and verifiers pass the generator as an explicit
+		// base; route them through the precomputed tables.
+		return fixedBaseMult(s)
+	}
 	x, y := curve.ScalarMult(p.x, p.y, s.Bytes())
 	if x.Sign() == 0 && y.Sign() == 0 {
 		return Point{}
@@ -318,13 +328,20 @@ func SharedSecret(p Point) [32]byte {
 
 // Product returns the product of all points (the sum in additive
 // notation). AHS verification works with products of users' DH keys
-// (∏ X_j, §6.3 step 3); an empty product is the identity.
+// (∏ X_j, §6.3 step 3); an empty product is the identity. The points
+// are accumulated in Jacobian coordinates, so the whole product pays
+// one field inversion instead of crypto/elliptic's hidden inversion
+// per addition.
 func Product(points []Point) Point {
-	acc := Point{}
+	var acc jacPoint
 	for _, p := range points {
-		acc = acc.Add(p)
+		if p.IsIdentity() {
+			continue
+		}
+		a := newAffinePoint(p)
+		acc.addAffine(&a, false)
 	}
-	return acc
+	return acc.toPoint()
 }
 
 // String implements fmt.Stringer with a short hex prefix for logging.

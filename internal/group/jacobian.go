@@ -8,8 +8,6 @@ package group
 // MSM inputs are adversarial submissions, so doubling and cancelling
 // inputs must fold correctly rather than "never happen".
 
-import "math/big"
-
 // affinePoint is a table/input entry: affine coordinates in the
 // Montgomery domain plus the negated y, so a signed-digit lookup costs
 // nothing. Never the identity (identity inputs are filtered out by the
@@ -48,23 +46,20 @@ func newAffinePoint(pt Point) affinePoint {
 }
 
 // toPoint converts back to the package's affine big.Int Point. The
-// single field inversion per MSM call lives here.
+// single field inversion per chain lives here; everything around it
+// stays in the fe domain, so the conversion costs one inversion plus
+// four field mults rather than a chain of big.Int modular ops.
 func (p *jacPoint) toPoint() Point {
 	if p.isIdentity() {
 		return Point{}
 	}
-	prime := curve.Params().P
-	z := p.z.toBig()
-	zInv := new(big.Int).ModInverse(z, prime)
-	zInv2 := new(big.Int).Mul(zInv, zInv)
-	zInv2.Mod(zInv2, prime)
-	x := new(big.Int).Mul(p.x.toBig(), zInv2)
-	x.Mod(x, prime)
-	zInv3 := zInv2.Mul(zInv2, zInv)
-	zInv3.Mod(zInv3, prime)
-	y := new(big.Int).Mul(p.y.toBig(), zInv3)
-	y.Mod(y, prime)
-	return Point{x, y}
+	var zinv, zi2, zi3, xf, yf fe
+	feInv(&zinv, &p.z)
+	feSqr(&zi2, &zinv)
+	feMul(&zi3, &zi2, &zinv)
+	feMul(&xf, &p.x, &zi2)
+	feMul(&yf, &p.y, &zi3)
+	return Point{xf.toBig(), yf.toBig()}
 }
 
 // double sets p = 2p (dbl-2001-b, a = −3).

@@ -128,29 +128,36 @@ func digitWindows(maxBits, w int) int {
 
 // strausMSM interleaves per-point windowed tables over one shared
 // doubling chain (Straus's trick): nw·w doublings total, one table
-// lookup-and-add per point per window.
+// lookup-and-add per point per window. The multiple tables are built
+// in Jacobian form and normalized to affine with one batched
+// inversion (batchNormalize), so every window lookup is a 7M+4S mixed
+// addition instead of a full 11M+5S Jacobian addition, with stored
+// y-negations for the signed digits.
 func strausMSM(acc *jacPoint, aff []affinePoint, limbs [][4]uint64, maxBits int) {
 	const w = 4
 	const tableSize = 1 << (w - 1) // multiples 1..8
 	nw := digitWindows(maxBits, w)
 	n := len(aff)
 
-	tables := make([][tableSize]jacPoint, n)
+	jtab := make([]jacPoint, n*tableSize)
 	for i := range aff {
-		t := &tables[i]
+		t := jtab[i*tableSize : (i+1)*tableSize]
 		t[0].fromAffine(&aff[i], false)
 		for k := 1; k < tableSize; k++ {
 			t[k] = t[k-1]
 			t[k].addAffine(&aff[i], false)
 		}
 	}
+	// Small multiples of non-identity points in a prime-order group
+	// are never the identity, so the fe-domain normalization applies.
+	tables := make([]affinePoint, n*tableSize)
+	batchNormalize(jtab, tables)
 	digits := make([]int16, n*nw)
 	for i := range limbs {
 		signedDigits(&limbs[i], w, nw, digits[i*nw:(i+1)*nw])
 	}
 
 	acc.setIdentity()
-	var neg jacPoint
 	for j := nw - 1; j >= 0; j-- {
 		if !acc.isIdentity() {
 			for k := 0; k < w; k++ {
@@ -161,11 +168,9 @@ func strausMSM(acc *jacPoint, aff []affinePoint, limbs [][4]uint64, maxBits int)
 			d := digits[i*nw+j]
 			switch {
 			case d > 0:
-				acc.add(&tables[i][d-1])
+				acc.addAffine(&tables[i*tableSize+int(d)-1], false)
 			case d < 0:
-				neg = tables[i][-d-1]
-				feNeg(&neg.y, &neg.y)
-				acc.add(&neg)
+				acc.addAffine(&tables[i*tableSize-int(d)-1], true)
 			}
 		}
 	}

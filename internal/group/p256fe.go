@@ -25,6 +25,17 @@ import (
 // fe is a field element in the Montgomery domain, little-endian limbs.
 type fe [4]uint64
 
+// The prime's limbs as constants so the hot paths can fold them into
+// immediates: p = 2^256 − 2^224 + 2^192 + 2^96 − 1. The init below
+// cross-checks them against the curve parameters so a typo here cannot
+// silently corrupt arithmetic.
+const (
+	feP0 uint64 = 0xffffffffffffffff
+	feP1 uint64 = 0x00000000ffffffff
+	feP2 uint64 = 0x0000000000000000
+	feP3 uint64 = 0xffffffff00000001
+)
+
 // Prime limbs and Montgomery constants, filled from the curve
 // parameters at init so no hand-transcribed constant can drift.
 var (
@@ -36,6 +47,9 @@ var (
 func init() {
 	p := curve.Params().P
 	feP = feFromBigRaw(p)
+	if feP != (fe{feP0, feP1, feP2, feP3}) {
+		panic("group: feP constants disagree with curve.Params().P")
+	}
 	r2 := new(big.Int).Lsh(big.NewInt(1), 512)
 	r2.Mod(r2, p)
 	feR2 = feFromBigRaw(r2)
@@ -91,131 +105,223 @@ func (x *fe) equal(y *fe) bool {
 	return x[0] == y[0] && x[1] == y[1] && x[2] == y[2] && x[3] == y[3]
 }
 
-// feMul sets z = x·y·2^−256 mod p (Montgomery product). Schoolbook
-// 256×256→512 product followed by four REDC steps; with −p⁻¹ ≡ 1 the
-// quotient word of each step is simply the running low limb.
+// feMul sets z = x·y·2^−256 mod p (Montgomery product). Fully
+// unrolled CIOS: each of the four rounds adds one product row x[i]·y
+// into a 6-limb accumulator and immediately folds the low limb away
+// with one Montgomery reduction step. With −p⁻¹ ≡ 1 mod 2^64 the
+// quotient word of each step is the accumulator's low limb m, and
+// because p = 2^256 − 2^224 + 2^192 + 2^96 − 1 the m·p addition needs
+// no multiplications at all, only shifts of m:
+//
+//	(t + m·p)/2^64 = t/2^64 + m·2^32 + m·(2^64−2^32+1)·2^128
+//
+// (the −m term exactly cancels the low limb t0 = m).
 func feMul(z, x, y *fe) {
-	var t [9]uint64
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+	var t0, t1, t2, t3, t4, t5 uint64
 
-	// Schoolbook product into t[0..7].
-	for i := 0; i < 4; i++ {
-		var carry uint64
-		xi := x[i]
-		for j := 0; j < 4; j++ {
-			hi, lo := bits.Mul64(xi, y[j])
-			lo, c1 := bits.Add64(lo, t[i+j], 0)
-			lo, c2 := bits.Add64(lo, carry, 0)
-			t[i+j] = lo
-			carry = hi + c1 + c2 // hi ≤ 2^64−2, cannot overflow
-		}
-		t[i+4] = carry
+	// Round 0: t = x0·y, then one reduction step.
+	h0, l0 := bits.Mul64(x0, y0)
+	h1, l1 := bits.Mul64(x0, y1)
+	h2, l2 := bits.Mul64(x0, y2)
+	h3, l3 := bits.Mul64(x0, y3)
+	t0 = l0
+	var c uint64
+	t1, c = bits.Add64(l1, h0, 0)
+	t2, c = bits.Add64(l2, h1, c)
+	t3, c = bits.Add64(l3, h2, c)
+	t4, _ = bits.Add64(h3, 0, c)
+
+	m := t0
+	lo, bb := bits.Sub64(m, m<<32, 0)
+	hi := m - m>>32 - bb
+	t0, c = bits.Add64(t1, m<<32, 0)
+	t1, c = bits.Add64(t2, m>>32, c)
+	t2, c = bits.Add64(t3, lo, c)
+	t3, c = bits.Add64(t4, hi, c)
+	t4 = c
+
+	// Rounds 1..3: t += x[i]·y, then one reduction step each.
+	for _, xi := range [3]uint64{x1, x2, x3} {
+		h0, l0 = bits.Mul64(xi, y0)
+		h1, l1 = bits.Mul64(xi, y1)
+		h2, l2 = bits.Mul64(xi, y2)
+		h3, l3 = bits.Mul64(xi, y3)
+		t0, c = bits.Add64(t0, l0, 0)
+		t1, c = bits.Add64(t1, l1, c)
+		t2, c = bits.Add64(t2, l2, c)
+		t3, c = bits.Add64(t3, l3, c)
+		t4, c = bits.Add64(t4, 0, c)
+		t5 = c
+		t1, c = bits.Add64(t1, h0, 0)
+		t2, c = bits.Add64(t2, h1, c)
+		t3, c = bits.Add64(t3, h2, c)
+		t4, c = bits.Add64(t4, h3, c)
+		t5 += c
+
+		m = t0
+		lo, bb = bits.Sub64(m, m<<32, 0)
+		hi = m - m>>32 - bb
+		t0, c = bits.Add64(t1, m<<32, 0)
+		t1, c = bits.Add64(t2, m>>32, c)
+		t2, c = bits.Add64(t3, lo, c)
+		t3, c = bits.Add64(t4, hi, c)
+		t4 = t5 + c
 	}
 
-	feReduce(z, &t)
+	// Result in t0..t4 is < 2p; subtract p once if needed.
+	r0, b := bits.Sub64(t0, feP0, 0)
+	r1, b := bits.Sub64(t1, feP1, b)
+	r2, b := bits.Sub64(t2, feP2, b)
+	r3, b := bits.Sub64(t3, feP3, b)
+	_, b = bits.Sub64(t4, 0, b)
+	mask := -b // borrow set: t < p, keep t
+	z[0] = t0&mask | r0&^mask
+	z[1] = t1&mask | r1&^mask
+	z[2] = t2&mask | r2&^mask
+	z[3] = t3&mask | r3&^mask
 }
 
-// feSqr sets z = x²·2^−256 mod p. The cross products are computed
-// once and doubled, saving roughly a third of the multiplications.
+// feSqr sets z = x²·2^−256 mod p. The six cross products are computed
+// once and doubled, then the four shift-only reduction steps of feMul
+// run over the full 512-bit square.
 func feSqr(z, x *fe) {
-	var t [9]uint64
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
 
-	// Off-diagonal products x[i]·x[j] for i<j land in t[1..6];
-	// t[0], t[7], t[8] stay zero.
-	for i := 0; i < 3; i++ {
-		var carry uint64
-		for j := i + 1; j < 4; j++ {
-			hi, lo := bits.Mul64(x[i], x[j])
-			lo, c1 := bits.Add64(lo, t[i+j], 0)
-			lo, c2 := bits.Add64(lo, carry, 0)
-			t[i+j] = lo
-			carry = hi + c1 + c2
-		}
-		t[i+4] = carry
-	}
+	// Off-diagonal products into t1..t6.
+	h01, l01 := bits.Mul64(x0, x1)
+	h02, l02 := bits.Mul64(x0, x2)
+	h03, l03 := bits.Mul64(x0, x3)
+	h12, l12 := bits.Mul64(x1, x2)
+	h13, l13 := bits.Mul64(x1, x3)
+	h23, l23 := bits.Mul64(x2, x3)
 
-	// Double the off-diagonal part (bounded by t[7]).
-	for i := 7; i >= 1; i-- {
-		t[i] = t[i]<<1 | t[i-1]>>63
-	}
+	t1 := l01
+	t2, c := bits.Add64(l02, h01, 0)
+	t3, c := bits.Add64(l03, h02, c)
+	t4, c := bits.Add64(h03, 0, c)
+	t5 := c
+	t3, c = bits.Add64(t3, l12, 0)
+	t4, c = bits.Add64(t4, l13, c)
+	t5, _ = bits.Add64(t5, 0, c)
+	t4, c = bits.Add64(t4, h12, 0)
+	t5, c = bits.Add64(t5, h13, c)
+	t6 := c
+	t5, c = bits.Add64(t5, l23, 0)
+	t6, _ = bits.Add64(t6, h23, c)
 
-	// Add the diagonal squares.
-	var carry uint64
-	for i := 0; i < 4; i++ {
-		hi, lo := bits.Mul64(x[i], x[i])
-		var c uint64
-		t[2*i], c = bits.Add64(t[2*i], lo, 0)
-		hi += c // hi ≤ 2^64−2, cannot overflow
-		t[2*i+1], carry = bits.Add64(t[2*i+1], hi, 0)
-		for k := 2*i + 2; carry != 0 && k < 9; k++ {
-			t[k], carry = bits.Add64(t[k], carry, 0)
-		}
-	}
+	// Double the off-diagonal part and add the diagonal squares.
+	t7 := t6 >> 63
+	t6 = t6<<1 | t5>>63
+	t5 = t5<<1 | t4>>63
+	t4 = t4<<1 | t3>>63
+	t3 = t3<<1 | t2>>63
+	t2 = t2<<1 | t1>>63
+	t1 = t1 << 1
 
-	feReduce(z, &t)
+	h, t0 := bits.Mul64(x0, x0)
+	t1, c = bits.Add64(t1, h, 0)
+	h, l := bits.Mul64(x1, x1)
+	t2, c = bits.Add64(t2, l, c)
+	t3, c = bits.Add64(t3, h, c)
+	h, l = bits.Mul64(x2, x2)
+	t4, c = bits.Add64(t4, l, c)
+	t5, c = bits.Add64(t5, h, c)
+	h, l = bits.Mul64(x3, x3)
+	t6, c = bits.Add64(t6, l, c)
+	t7, _ = bits.Add64(t7, h, c)
+
+	// Four shift-only Montgomery reduction steps over t0..t7; t8
+	// catches the final carries (the running value can reach 2p·2^256).
+	var t8 uint64
+
+	m := t0
+	lo, bb := bits.Sub64(m, m<<32, 0)
+	hi := m - m>>32 - bb
+	t1, c = bits.Add64(t1, m<<32, 0)
+	t2, c = bits.Add64(t2, m>>32, c)
+	t3, c = bits.Add64(t3, lo, c)
+	t4, c = bits.Add64(t4, hi, c)
+	t5, c = bits.Add64(t5, 0, c)
+	t6, c = bits.Add64(t6, 0, c)
+	t7, c = bits.Add64(t7, 0, c)
+	t8 += c
+
+	m = t1
+	lo, bb = bits.Sub64(m, m<<32, 0)
+	hi = m - m>>32 - bb
+	t2, c = bits.Add64(t2, m<<32, 0)
+	t3, c = bits.Add64(t3, m>>32, c)
+	t4, c = bits.Add64(t4, lo, c)
+	t5, c = bits.Add64(t5, hi, c)
+	t6, c = bits.Add64(t6, 0, c)
+	t7, c = bits.Add64(t7, 0, c)
+	t8 += c
+
+	m = t2
+	lo, bb = bits.Sub64(m, m<<32, 0)
+	hi = m - m>>32 - bb
+	t3, c = bits.Add64(t3, m<<32, 0)
+	t4, c = bits.Add64(t4, m>>32, c)
+	t5, c = bits.Add64(t5, lo, c)
+	t6, c = bits.Add64(t6, hi, c)
+	t7, c = bits.Add64(t7, 0, c)
+	t8 += c
+
+	m = t3
+	lo, bb = bits.Sub64(m, m<<32, 0)
+	hi = m - m>>32 - bb
+	t4, c = bits.Add64(t4, m<<32, 0)
+	t5, c = bits.Add64(t5, m>>32, c)
+	t6, c = bits.Add64(t6, lo, c)
+	t7, c = bits.Add64(t7, hi, c)
+	t8 += c
+
+	// Result in t4..t8 is < 2p; subtract p once if needed.
+	r0, b := bits.Sub64(t4, feP0, 0)
+	r1, b := bits.Sub64(t5, feP1, b)
+	r2, b := bits.Sub64(t6, feP2, b)
+	r3, b := bits.Sub64(t7, feP3, b)
+	_, b = bits.Sub64(t8, 0, b)
+	mask := -b
+	z[0] = t4&mask | r0&^mask
+	z[1] = t5&mask | r1&^mask
+	z[2] = t6&mask | r2&^mask
+	z[3] = t7&mask | r3&^mask
 }
 
-// feReduce runs the four Montgomery reduction steps over the 512-bit
-// value in t[0..7] (t[8] spare carry word) and writes the canonical
-// result.
-func feReduce(z *fe, t *[9]uint64) {
-	for i := 0; i < 4; i++ {
-		m := t[i] // quotient word: m = t[i]·(−p⁻¹) mod 2^64 = t[i]
-		var carry uint64
-		for j := 0; j < 4; j++ {
-			hi, lo := bits.Mul64(m, feP[j])
-			lo, c1 := bits.Add64(lo, t[i+j], 0)
-			lo, c2 := bits.Add64(lo, carry, 0)
-			t[i+j] = lo
-			carry = hi + c1 + c2
-		}
-		for k := i + 4; carry != 0 && k < 9; k++ {
-			t[k], carry = bits.Add64(t[k], carry, 0)
-		}
-	}
-
-	// Result is t[4..8] < 2p; subtract p once if needed.
-	r0, b := bits.Sub64(t[4], feP[0], 0)
-	r1, b := bits.Sub64(t[5], feP[1], b)
-	r2, b := bits.Sub64(t[6], feP[2], b)
-	r3, b := bits.Sub64(t[7], feP[3], b)
-	_, b = bits.Sub64(t[8], 0, b)
-	if b == 0 {
-		z[0], z[1], z[2], z[3] = r0, r1, r2, r3
-	} else {
-		z[0], z[1], z[2], z[3] = t[4], t[5], t[6], t[7]
-	}
-}
-
-// feAdd sets z = x + y mod p.
+// feAdd sets z = x + y mod p, branch-free.
 func feAdd(z, x, y *fe) {
 	s0, c := bits.Add64(x[0], y[0], 0)
 	s1, c := bits.Add64(x[1], y[1], c)
 	s2, c := bits.Add64(x[2], y[2], c)
 	s3, c := bits.Add64(x[3], y[3], c)
-	r0, b := bits.Sub64(s0, feP[0], 0)
-	r1, b := bits.Sub64(s1, feP[1], b)
-	r2, b := bits.Sub64(s2, feP[2], b)
-	r3, b := bits.Sub64(s3, feP[3], b)
-	if c == 1 || b == 0 {
-		z[0], z[1], z[2], z[3] = r0, r1, r2, r3
-	} else {
-		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
-	}
+	r0, b := bits.Sub64(s0, feP0, 0)
+	r1, b := bits.Sub64(s1, feP1, b)
+	r2, b := bits.Sub64(s2, feP2, b)
+	r3, b := bits.Sub64(s3, feP3, b)
+	_, b = bits.Sub64(c, 0, b)
+	mask := -b // borrow set: sum < p, keep the raw sum
+	z[0] = s0&mask | r0&^mask
+	z[1] = s1&mask | r1&^mask
+	z[2] = s2&mask | r2&^mask
+	z[3] = s3&mask | r3&^mask
 }
 
-// feSub sets z = x − y mod p.
+// feSub sets z = x − y mod p, branch-free: p is added back under a
+// mask only when the raw subtraction borrowed.
 func feSub(z, x, y *fe) {
 	d0, b := bits.Sub64(x[0], y[0], 0)
 	d1, b := bits.Sub64(x[1], y[1], b)
 	d2, b := bits.Sub64(x[2], y[2], b)
 	d3, b := bits.Sub64(x[3], y[3], b)
-	if b == 1 {
-		var c uint64
-		d0, c = bits.Add64(d0, feP[0], 0)
-		d1, c = bits.Add64(d1, feP[1], c)
-		d2, c = bits.Add64(d2, feP[2], c)
-		d3, _ = bits.Add64(d3, feP[3], c)
-	}
+	mask := -b
+	var c uint64
+	d0, c = bits.Add64(d0, feP0&mask, 0)
+	d1, c = bits.Add64(d1, feP1&mask, c)
+	d2, c = bits.Add64(d2, feP2&mask, c)
+	d3, _ = bits.Add64(d3, feP3&mask, c)
 	z[0], z[1], z[2], z[3] = d0, d1, d2, d3
 }
 

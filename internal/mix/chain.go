@@ -185,12 +185,13 @@ func (c *Chain) BeginRound(round uint64) error {
 	}
 	c.innerAggs[round] = agg
 	c.innerKeys[round] = ipks
-	// Drop aggregates no round can use any more: the coordinator
-	// announces ρ+1 while ρ runs, so snapshotParams needs lastBegun−1
-	// and lastBegun but nothing older. Without this the map grows by
-	// one entry per round for the life of the server.
+	// Drop aggregates no round can use any more. A pipelined
+	// coordinator announces up to ρ+2 while round ρ is still mixing
+	// (and will still read innerKeys[ρ] at reveal time), so the
+	// window keeps the last three announced rounds. Without this the
+	// map grows by one entry per round for the life of the server.
 	for r := range c.innerAggs {
-		if r+1 < c.lastBegun {
+		if r+2 < c.lastBegun {
 			delete(c.innerAggs, r)
 			delete(c.innerKeys, r)
 		}

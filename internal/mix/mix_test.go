@@ -785,9 +785,10 @@ func equalInts(a, b []int) bool {
 }
 
 // TestInnerAggPruning pins the fix for the unbounded innerAggs map: a
-// long-running chain keeps aggregates only for the current and next
-// round, so parameters for anything older are gone (and so is the
-// memory).
+// long-running chain keeps aggregates only for a bounded window of
+// recent rounds — three, because a depth-2 pipeline announces round
+// ρ+2 while round ρ is still mixing and must later reveal — so
+// parameters for anything older are gone (and so is the memory).
 func TestInnerAggPruning(t *testing.T) {
 	c := testChain(t, 2)
 	for r := uint64(2); r <= 6; r++ {
@@ -798,15 +799,15 @@ func TestInnerAggPruning(t *testing.T) {
 	c.keyMu.RLock()
 	kept := len(c.innerAggs)
 	c.keyMu.RUnlock()
-	if kept != 2 {
-		t.Fatalf("innerAggs holds %d rounds, want 2 (current and next)", kept)
+	if kept != 3 {
+		t.Fatalf("innerAggs holds %d rounds, want 3 (mixing, current, next)", kept)
 	}
-	for r := uint64(1); r <= 4; r++ {
+	for r := uint64(1); r <= 3; r++ {
 		if _, err := c.ParamsFor(r); err == nil {
 			t.Fatalf("parameters for pruned round %d still served", r)
 		}
 	}
-	for r := uint64(5); r <= 6; r++ {
+	for r := uint64(4); r <= 6; r++ {
 		if _, err := c.ParamsFor(r); err != nil {
 			t.Fatalf("parameters for live round %d unavailable: %v", r, err)
 		}
@@ -815,15 +816,15 @@ func TestInnerAggPruning(t *testing.T) {
 	if err := c.BeginRound(6); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ParamsFor(5); err != nil {
-		t.Fatalf("idempotent BeginRound pruned the current round: %v", err)
+	if _, err := c.ParamsFor(4); err != nil {
+		t.Fatalf("idempotent BeginRound pruned the oldest live round: %v", err)
 	}
 	// The servers' own inner-key maps must be bounded too: a halted
 	// or skipped chain never reaches RevealInnerKey's pruning, so
 	// BeginRound is the backstop.
 	for _, s := range c.Servers {
-		if len(s.innerKeys) != 2 {
-			t.Fatalf("server %d holds %d inner keys, want 2", s.Index, len(s.innerKeys))
+		if len(s.innerKeys) != 3 {
+			t.Fatalf("server %d holds %d inner keys, want 3", s.Index, len(s.innerKeys))
 		}
 		if _, ok := s.InnerPublicKey(5); !ok {
 			t.Fatalf("server %d lost the current round's inner key", s.Index)

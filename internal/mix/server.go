@@ -46,6 +46,11 @@ type Server struct {
 	bskProof    nizk.Proof
 	mskProof    nizk.Proof
 	baselineKey group.KeyPair // plain g^msk' pair for Algorithm 1 mode
+	// innerMu guards innerKeys and lastKeyRound. With round
+	// pipelining the coordinator announces round ρ+2's keys
+	// (BeginRound) while round ρ's mixing still reads and prunes the
+	// map (InnerPublicKey, RevealInnerKey), so access is concurrent.
+	innerMu sync.Mutex
 	// innerKeys holds the per-round inner key pairs (isk, ipk=g^isk).
 	// Keys for round ρ+1 are generated during round ρ so users can
 	// build their cover messages one round ahead (§5.3.3); old rounds
@@ -128,6 +133,7 @@ func (s *Server) VerifyKeys() error {
 // coordinator can announce round ρ+1's keys during round ρ for cover
 // messages.
 func (s *Server) BeginRound(round uint64) (group.Point, nizk.Proof) {
+	s.innerMu.Lock()
 	if s.innerKeys == nil {
 		s.innerKeys = make(map[uint64]group.KeyPair)
 	}
@@ -138,17 +144,20 @@ func (s *Server) BeginRound(round uint64) (group.Point, nizk.Proof) {
 	}
 	if round > s.lastKeyRound {
 		s.lastKeyRound = round
-		// Mirror Chain.innerAggs: only the current and next announced
-		// rounds can still be mixed or revealed; anything older is
-		// unreachable (RevealInnerKey prunes the success path, but a
-		// halted or skipped chain never gets there, and §6.4 wants
-		// those keys destroyed anyway).
+		// Mirror Chain.innerAggs: anything older than two rounds
+		// behind the newest announcement is unreachable
+		// (RevealInnerKey prunes the success path, but a halted or
+		// skipped chain never gets there, and §6.4 wants those keys
+		// destroyed anyway). The window is two rounds, not one,
+		// because a depth-2 pipeline announces round ρ+2 while round
+		// ρ is still mixing and must later reveal.
 		for r := range s.innerKeys {
-			if r+1 < s.lastKeyRound {
+			if r+2 < s.lastKeyRound {
 				delete(s.innerKeys, r)
 			}
 		}
 	}
+	s.innerMu.Unlock()
 	proof := nizk.ProveDlog(innerKeyContext(s.Chain, s.Index, round), group.Generator(), kp.Private)
 	return kp.Public, proof
 }
@@ -156,7 +165,9 @@ func (s *Server) BeginRound(round uint64) (group.Point, nizk.Proof) {
 // InnerPublicKey returns the server's inner public key for round, if
 // generated.
 func (s *Server) InnerPublicKey(round uint64) (group.Point, bool) {
+	s.innerMu.Lock()
 	kp, ok := s.innerKeys[round]
+	s.innerMu.Unlock()
 	return kp.Public, ok
 }
 
@@ -165,6 +176,8 @@ func (s *Server) InnerPublicKey(round uint64) (group.Point, bool) {
 // refuse; the chain then halts without delivering, which leaks
 // nothing (messages stay encrypted).
 func (s *Server) RevealInnerKey(round uint64) (group.Scalar, error) {
+	s.innerMu.Lock()
+	defer s.innerMu.Unlock()
 	kp, ok := s.innerKeys[round]
 	if !ok {
 		return group.Scalar{}, fmt.Errorf("mix: server %d has no inner key for round %d", s.Index, round)

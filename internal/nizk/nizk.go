@@ -183,8 +183,15 @@ func dlogCommitChallenge(context string, base, public, commit group.Point) group
 // commitment format.
 func ProveDlogCommit(context string, base group.Point, x group.Scalar) DlogProof {
 	v := group.MustRandomScalar()
-	commit := base.Mul(v)
-	public := base.Mul(x)
+	return ProveDlogCommitPrecomputed(context, base, base.Mul(x), x, v, base.Mul(v))
+}
+
+// ProveDlogCommitPrecomputed is ProveDlogCommit for callers that have
+// already computed public = base^x and the commitment pair
+// (v, commit = base^v) — typically through group.BatchBase, which
+// amortizes the fixed-base work across a whole onion. The caller must
+// supply a fresh uniformly random v per proof; reusing v leaks x.
+func ProveDlogCommitPrecomputed(context string, base, public group.Point, x, v group.Scalar, commit group.Point) DlogProof {
 	c := dlogCommitChallenge(context, base, public, commit)
 	return DlogProof{T: commit, S: v.Add(c.Mul(x))}
 }

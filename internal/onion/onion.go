@@ -157,13 +157,18 @@ func WrapBaseline(s aead.Scheme, mixKeys []group.Point, nonce [aead.NonceSize]by
 	if len(mailboxMsg) != MailboxMessageSize {
 		return nil, fmt.Errorf("%w: mailbox message length %d", ErrFormat, len(mailboxMsg))
 	}
+	privs := make([]group.Scalar, len(mixKeys))
+	for i := range privs {
+		privs[i] = group.MustRandomScalar()
+	}
+	// One batched fixed-base walk for all per-layer ephemeral keys.
+	pubs := group.BatchBase(privs)
 	ct := append([]byte(nil), mailboxMsg...)
 	for i := len(mixKeys) - 1; i >= 0; i-- {
-		eph := group.GenerateBaseKeyPair()
-		key := kdf.OnionKey(group.DH(mixKeys[i], eph.Private))
+		key := kdf.OnionKey(group.DH(mixKeys[i], privs[i]))
 		k := [aead.KeySize]byte(key)
 		layer := make([]byte, 0, group.PointSize+len(ct)+aead.Overhead)
-		layer = append(layer, eph.Public.Bytes()...)
+		layer = append(layer, pubs[i].Bytes()...)
 		ct = s.Seal(layer, &k, &nonce, ct)
 	}
 	return ct, nil
@@ -239,25 +244,32 @@ func WrapAHS(s aead.Scheme, innerAgg group.Point, mixKeys []group.Point, round u
 	if len(mailboxMsg) != MailboxMessageSize {
 		return Submission{}, fmt.Errorf("%w: mailbox message length %d", ErrFormat, len(mailboxMsg))
 	}
-	// Inner envelope: e = (g^y, AEnc(DH(∏ipk, y), ρ, m)).
+	// The three fixed-base points of one onion — the inner ephemeral
+	// g^y, the outer DH key g^x, and the proof commitment g^v — share
+	// one batched table walk.
 	y := group.MustRandomScalar()
+	x := group.MustRandomScalar()
+	v := group.MustRandomScalar()
+	pts := group.BatchBase([]group.Scalar{y, x, v})
+	gy, gx, gv := pts[0], pts[1], pts[2]
+
+	// Inner envelope: e = (g^y, AEnc(DH(∏ipk, y), ρ, m)).
 	innerKey := kdf.InnerKey(group.DH(innerAgg, y))
 	ik := [aead.KeySize]byte(innerKey)
 	e := make([]byte, 0, innerEnvelopeSize)
-	e = append(e, group.Base(y).Bytes()...)
+	e = append(e, gy.Bytes()...)
 	e = s.Seal(e, &ik, &nonce, mailboxMsg)
 
-	// Outer layers under a single x.
-	x := group.MustRandomScalar()
+	// Outer layers under the single x.
 	ct := e
 	for i := len(mixKeys) - 1; i >= 0; i-- {
 		key := kdf.OnionKey(group.DH(mixKeys[i], x))
 		k := [aead.KeySize]byte(key)
 		ct = s.Seal(make([]byte, 0, len(ct)+aead.Overhead), &k, &nonce, ct)
 	}
-	proof := nizk.ProveDlogCommit(SubmitContext(round, chain), group.Generator(), x)
+	proof := nizk.ProveDlogCommitPrecomputed(SubmitContext(round, chain), group.Generator(), gx, x, v, gv)
 	return Submission{
-		Envelope: Envelope{DHKey: group.Base(x), Ct: ct},
+		Envelope: Envelope{DHKey: gx, Ct: ct},
 		Proof:    proof,
 	}, nil
 }
@@ -270,15 +282,18 @@ func WrapAHS(s aead.Scheme, innerAgg group.Point, mixKeys []group.Point, round u
 // clients never call it.
 func WrapPartialAHS(s aead.Scheme, mixKeys []group.Point, round uint64, chain int, nonce [aead.NonceSize]byte, inner []byte) (Submission, error) {
 	x := group.MustRandomScalar()
+	v := group.MustRandomScalar()
+	pts := group.BatchBase([]group.Scalar{x, v})
+	gx, gv := pts[0], pts[1]
 	ct := append([]byte(nil), inner...)
 	for i := len(mixKeys) - 1; i >= 0; i-- {
 		key := kdf.OnionKey(group.DH(mixKeys[i], x))
 		k := [aead.KeySize]byte(key)
 		ct = s.Seal(make([]byte, 0, len(ct)+aead.Overhead), &k, &nonce, ct)
 	}
-	proof := nizk.ProveDlogCommit(SubmitContext(round, chain), group.Generator(), x)
+	proof := nizk.ProveDlogCommitPrecomputed(SubmitContext(round, chain), group.Generator(), gx, x, v, gv)
 	return Submission{
-		Envelope: Envelope{DHKey: group.Base(x), Ct: ct},
+		Envelope: Envelope{DHKey: gx, Ct: ct},
 		Proof:    proof,
 	}, nil
 }

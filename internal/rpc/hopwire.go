@@ -183,11 +183,17 @@ type HopAccuseResponse struct {
 	Proof []byte
 }
 
-// envelopesToWire converts a batch chunk for transmission.
+// envelopesToWire converts a batch chunk for transmission. The
+// Diffie-Hellman key column is encoded through the group batch seam.
 func envelopesToWire(envs []onion.Envelope) []WireEnvelope {
+	keys := make([]group.Point, len(envs))
+	for i, e := range envs {
+		keys[i] = e.DHKey
+	}
+	enc := group.EncodePoints(keys)
 	out := make([]WireEnvelope, len(envs))
 	for i, e := range envs {
-		out[i] = WireEnvelope{DHKey: e.DHKey.Bytes(), Ct: e.Ct}
+		out[i] = WireEnvelope{DHKey: enc[i], Ct: e.Ct}
 	}
 	return out
 }
@@ -196,13 +202,17 @@ func envelopesToWire(envs []onion.Envelope) []WireEnvelope {
 // Diffie-Hellman key is checked to be on the curve; a single bad
 // envelope rejects the chunk.
 func envelopesFromWire(ws []WireEnvelope) ([]onion.Envelope, error) {
+	enc := make([][]byte, len(ws))
+	for i, w := range ws {
+		enc[i] = w.DHKey
+	}
+	keys, err := group.ParsePoints(enc)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: envelope key: %w", err)
+	}
 	out := make([]onion.Envelope, len(ws))
 	for i, w := range ws {
-		key, err := group.ParsePoint(w.DHKey)
-		if err != nil {
-			return nil, fmt.Errorf("rpc: envelope %d key: %w", i, err)
-		}
-		out[i] = onion.Envelope{DHKey: key, Ct: w.Ct}
+		out[i] = onion.Envelope{DHKey: keys[i], Ct: w.Ct}
 	}
 	return out, nil
 }

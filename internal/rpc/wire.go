@@ -135,23 +135,18 @@ func decode(b []byte, v any) error {
 	return nil
 }
 
-// paramsToWire converts mix.Params for transmission.
+// paramsToWire converts mix.Params for transmission. The per-chain
+// key columns are whole slices of points, so they go through the
+// batch encode seam rather than point-by-point marshalling.
 func paramsToWire(p mix.Params) ParamsResponse {
-	out := ParamsResponse{
+	return ParamsResponse{
 		ChainID:        p.ChainID,
 		Round:          p.Round,
 		InnerAggregate: p.InnerAggregate.Bytes(),
+		MixKeys:        group.EncodePoints(p.MixKeys),
+		BlindKeys:      group.EncodePoints(p.BlindKeys),
+		BaselineKeys:   group.EncodePoints(p.BaselineKeys),
 	}
-	for _, k := range p.MixKeys {
-		out.MixKeys = append(out.MixKeys, k.Bytes())
-	}
-	for _, k := range p.BlindKeys {
-		out.BlindKeys = append(out.BlindKeys, k.Bytes())
-	}
-	for _, k := range p.BaselineKeys {
-		out.BaselineKeys = append(out.BaselineKeys, k.Bytes())
-	}
-	return out
 }
 
 // paramsFromWire validates and converts a received ParamsResponse.
@@ -161,25 +156,14 @@ func paramsFromWire(w ParamsResponse) (mix.Params, error) {
 	if p.InnerAggregate, err = group.ParsePoint(w.InnerAggregate); err != nil {
 		return mix.Params{}, fmt.Errorf("rpc: inner aggregate: %w", err)
 	}
-	parse := func(in [][]byte, what string) ([]group.Point, error) {
-		out := make([]group.Point, len(in))
-		for i, b := range in {
-			pt, err := group.ParsePoint(b)
-			if err != nil {
-				return nil, fmt.Errorf("rpc: %s %d: %w", what, i, err)
-			}
-			out[i] = pt
-		}
-		return out, nil
+	if p.MixKeys, err = group.ParsePoints(w.MixKeys); err != nil {
+		return mix.Params{}, fmt.Errorf("rpc: mix key: %w", err)
 	}
-	if p.MixKeys, err = parse(w.MixKeys, "mix key"); err != nil {
-		return mix.Params{}, err
+	if p.BlindKeys, err = group.ParsePoints(w.BlindKeys); err != nil {
+		return mix.Params{}, fmt.Errorf("rpc: blind key: %w", err)
 	}
-	if p.BlindKeys, err = parse(w.BlindKeys, "blind key"); err != nil {
-		return mix.Params{}, err
-	}
-	if p.BaselineKeys, err = parse(w.BaselineKeys, "baseline key"); err != nil {
-		return mix.Params{}, err
+	if p.BaselineKeys, err = group.ParsePoints(w.BaselineKeys); err != nil {
+		return mix.Params{}, fmt.Errorf("rpc: baseline key: %w", err)
 	}
 	return p, nil
 }
