@@ -53,11 +53,14 @@
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -66,6 +69,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/mix"
 	"repro/internal/rpc"
+	"repro/internal/store"
 )
 
 func main() {
@@ -85,6 +89,7 @@ func main() {
 		mixServers = flag.String("mix-servers", "", `remote mix processes as "id=addr=certfile,..." keyed by server identity (coordinator role; enables -recover)`)
 		gateways   = flag.String("gateways", "", `remote gateway shards as "lo:hi=addr=certfile,..." partitioning the 64 registry shards (coordinator role)`)
 		shardRange = flag.String("shard-range", "0:64", `registry-shard range this gateway owns, as "lo:hi" (gateway role)`)
+		dataDir    = flag.String("data-dir", "", "directory for durable WAL+snapshot state; restart with the same directory to recover (gateway role; empty = in-memory only)")
 		recoverOn  = flag.Bool("recover", false, "evict blamed servers and re-form chains after a halt (on by default with -mix-servers)")
 		pipeline   = flag.Int("pipeline", 1, "round pipeline depth: 2 overlaps the next round's build with the current mix (coordinator role)")
 		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "delay,target=srv1,delay=2s,after=3;drop,target=srv2" (see internal/faults)`)
@@ -122,7 +127,7 @@ func main() {
 			inj:         inj,
 		})
 	case "gateway":
-		runGatewayShard(*addr, *certOut, *shardRange, *boxes, *workers)
+		runGatewayShard(*addr, *certOut, *shardRange, *dataDir, *boxes, *workers)
 	case "mix":
 		runMix(*addr, *certOut, inj)
 	default:
@@ -152,20 +157,52 @@ func runMix(addr, certOut string, inj *faults.Injector) {
 
 // runGatewayShard hosts one gateway front-end shard and waits for its
 // coordinator (shard.init pushes epoch/round/parameters) and users.
-func runGatewayShard(addr, certOut, shardRange string, boxes, workers int) {
+// With -data-dir the shard's registry, mailboxes and pending
+// submissions live in a WAL+snapshot store there: a SIGKILLed process
+// restarted over the same directory replays to its pre-crash
+// watermark and resumes serving (the coordinator re-adopts it through
+// the ordinary rebalance path).
+func runGatewayShard(addr, certOut, shardRange, dataDir string, boxes, workers int) {
 	lo, hi, err := parseIntPair(shardRange, "lo:hi")
 	if err != nil {
 		log.Fatalf("parsing -shard-range: %v", err)
 	}
-	fe, err := core.NewFrontend(core.FrontendConfig{
+	cfg := core.FrontendConfig{
 		Range:          core.ShardRange{Lo: lo, Hi: hi},
 		MailboxServers: boxes,
 		Workers:        workers,
-	})
+	}
+	var serverTLS, clientTLS *tls.Config
+	if dataDir != "" {
+		st, rec, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("opening -data-dir %s: %v", dataDir, err)
+		}
+		cfg.Store, cfg.Recovered = st, rec
+		fmt.Printf("xrd-server[gateway]: recovered %d records over %d snapshot bytes from %s (torn tail: %v)\n",
+			len(rec.Records), len(rec.Snapshot), dataDir, rec.Truncated)
+		// The TLS identity persists beside the WAL: peers pinned this
+		// shard's certificate at deployment time, so a restart must
+		// present the same one or be refused as an impostor.
+		host, _, err := net.SplitHostPort(addr)
+		if err != nil || host == "" {
+			host = "127.0.0.1"
+		}
+		serverTLS, clientTLS, err = rpc.LoadOrCreateTLSIdentity(filepath.Join(dataDir, "identity.pem"), host)
+		if err != nil {
+			log.Fatalf("loading TLS identity: %v", err)
+		}
+	}
+	fe, err := core.NewFrontend(cfg)
 	if err != nil {
 		log.Fatalf("building gateway shard: %v", err)
 	}
-	ss, err := rpc.NewShardServer(fe, addr)
+	var ss *rpc.ShardServer
+	if serverTLS != nil {
+		ss, err = rpc.NewShardServerTLS(fe, addr, serverTLS, clientTLS)
+	} else {
+		ss, err = rpc.NewShardServer(fe, addr)
+	}
 	if err != nil {
 		log.Fatalf("starting gateway shard: %v", err)
 	}
@@ -179,6 +216,9 @@ func runGatewayShard(addr, certOut, shardRange string, boxes, workers int) {
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	fmt.Println("\nxrd-server[gateway]: shutting down")
+	if err := fe.Close(); err != nil {
+		log.Printf("closing durable store: %v", err)
+	}
 }
 
 type coordinatorOpts struct {

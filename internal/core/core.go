@@ -539,6 +539,16 @@ func (n *Network) FetchMailbox(round uint64, mailbox []byte) [][]byte {
 	return nil
 }
 
+// AckMailbox prunes a mailbox's messages for a round after its owner
+// confirmed receipt (see Frontend.AckMailbox), returning how many
+// were removed.
+func (n *Network) AckMailbox(round uint64, mailbox []byte) int {
+	if fe := n.frontendFor(mailbox); fe != nil {
+		return fe.AckMailbox(round, mailbox)
+	}
+	return 0
+}
+
 // PruneBefore discards mailbox state older than the given round on
 // every in-process shard.
 func (n *Network) PruneBefore(round uint64) {
@@ -619,6 +629,14 @@ type RoundReport struct {
 	// not be stored because their owning shard died before
 	// FinishRound.
 	LostDeliveries int
+	// MailboxDropped counts old mailbox messages evicted by the
+	// per-mailbox depth cap to make room for this round's deliveries.
+	MailboxDropped int
+	// DedupedSubmissions counts duplicate submissions discarded when
+	// merging shard batches: a client that failed over mid-round can
+	// land the same (byte-identical) submission on two gateways; the
+	// coordinator keeps the first copy per (chain, DH key).
+	DedupedSubmissions int
 	// Stranded lists users (mailbox identifiers) whose traffic rode a
 	// halted, failed or dead chain this round: nothing of theirs was
 	// delivered and StrandedError reports ErrRoundRetry for them.
@@ -922,6 +940,16 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 	}
 
 	// Merge the shards' per-chain batches plus injected submissions.
+	// With more than one shard, duplicate submissions are possible: a
+	// client whose gateway stalled mid-submit retries against another
+	// shard, and both may have accepted the (byte-identical) copy.
+	// The merge keeps the first copy per (chain, DH key) — without
+	// this, the duplicate would fail the chain's shuffle-cardinality
+	// checks or deliver the message twice.
+	var seen map[string]bool
+	if len(n.shards) > 1 {
+		seen = make(map[string]bool)
+	}
 	batches := make([]ChainBatch, len(chains))
 	for c := range batches {
 		total := 0
@@ -936,8 +964,18 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 			if builds[i] == nil || c >= len(builds[i].Batches) {
 				continue
 			}
-			batches[c].Subs = append(batches[c].Subs, builds[i].Batches[c].Subs...)
-			batches[c].Submitters = append(batches[c].Submitters, builds[i].Batches[c].Submitters...)
+			b := &builds[i].Batches[c]
+			for j, sub := range b.Subs {
+				if seen != nil {
+					key := string(sub.DHKey.Bytes())
+					if seen[key] {
+						p.report.DedupedSubmissions++
+						continue
+					}
+					seen[key] = true
+				}
+				batches[c].add(sub, b.Submitters[j])
+			}
 		}
 	}
 	for chain, subs := range injected {
@@ -1247,7 +1285,7 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 	}
 
 	finishErrs := make([]error, len(n.shards))
-	deliveredPer := make([]int, len(n.shards))
+	statsPer := make([]FinishStats, len(n.shards))
 	var finishWG sync.WaitGroup
 	for i, sh := range n.shards {
 		if deadShards[i] {
@@ -1257,7 +1295,7 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		finishWG.Add(1)
 		go func(i int, sh GatewayShard) {
 			defer finishWG.Done()
-			deliveredPer[i], finishErrs[i] = sh.FinishRound(&FinishRound{
+			statsPer[i], finishErrs[i] = sh.FinishRound(&FinishRound{
 				Round:     rho,
 				Delivered: perShard[i],
 				Removed:   removedPer[i],
@@ -1281,7 +1319,8 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 			report.LostDeliveries += len(perShard[i])
 			continue
 		}
-		report.Delivered += deliveredPer[i]
+		report.Delivered += statsPer[i].Delivered
+		report.MailboxDropped += statsPer[i].Dropped
 	}
 	sort.Ints(report.DeadShards)
 

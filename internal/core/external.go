@@ -65,6 +65,16 @@ func (f *Frontend) SubmitExternal(mailbox string, out *client.RoundOutput) error
 	if _, dup := eu.current[out.Round]; dup {
 		return fmt.Errorf("core: duplicate submission for round %d", out.Round)
 	}
+	// Durability point: the accepted submission is logged and synced
+	// BEFORE the client sees success, so an accepted-but-unmixed
+	// message survives a crash — the restarted shard replays it into
+	// the same round's batch.
+	if err := f.st.Append(opSubmit, encodeSubmit(mailbox, out)); err != nil {
+		return fmt.Errorf("core: persisting submission: %w", err)
+	}
+	if err := f.st.Sync(); err != nil {
+		return fmt.Errorf("core: persisting submission: %w", err)
+	}
 	eu.current[out.Round] = out.Current
 	eu.cover[out.Round+1] = out.Cover
 	return nil

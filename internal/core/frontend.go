@@ -12,6 +12,7 @@ import (
 	"repro/internal/mailbox"
 	"repro/internal/mix"
 	"repro/internal/onion"
+	"repro/internal/store"
 )
 
 // FrontendConfig describes one gateway front-end shard.
@@ -30,6 +31,22 @@ type FrontendConfig struct {
 	Scheme aead.Scheme
 	// Workers sizes the build worker pool; zero means GOMAXPROCS.
 	Workers int
+	// MailboxDepth caps each mailbox's retained messages, evicting
+	// oldest first past the cap (accounted in RoundReport); zero means
+	// unlimited.
+	MailboxDepth int
+	// Store is the durability engine for this shard's client-facing
+	// state (mailboxes, transport registrations, bans, external
+	// submissions, round watermarks); nil or store.Mem keeps the
+	// seed's pure in-memory behaviour. When Recovered is also set,
+	// NewFrontend replays it before serving.
+	Store store.Store
+	// Recovered is the state store.Open read back from Store's data
+	// directory, replayed into the fresh frontend.
+	Recovered *store.Recovered
+	// SnapshotEvery takes a full-state snapshot (compacting the WAL)
+	// every N finished rounds; zero means 16. Ignored without Store.
+	SnapshotEvery int
 }
 
 // Frontend is the in-process gateway shard: the per-user half of a
@@ -51,10 +68,17 @@ type Frontend struct {
 	boxes   *mailbox.Cluster
 	workers int
 	reg     *registry
+	// st is the durability engine (store.Mem when the shard is not
+	// durable). Writes happen at the mutation sites below; Sync at the
+	// durability points documented in internal/store.
+	st            store.Store
+	snapshotEvery int
 
-	mu    sync.Mutex
-	plan  *chainsel.Plan // nil until the chain count is known
-	epoch uint64
+	mu sync.Mutex
+	// sinceSnap counts finished rounds since the last snapshot.
+	sinceSnap int
+	plan      *chainsel.Plan // nil until the chain count is known
+	epoch     uint64
 	// round is the upcoming round as of the last Begin/FinishRound.
 	round uint64
 	// collected is the highest round whose external traffic has been
@@ -86,9 +110,15 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if cfg.MailboxServers == 0 {
 		cfg.MailboxServers = 1
 	}
-	boxes, err := mailbox.NewCluster(cfg.MailboxServers)
+	boxes, err := mailbox.NewClusterLimited(cfg.MailboxServers, cfg.MailboxDepth)
 	if err != nil {
 		return nil, fmt.Errorf("core: building mailbox cluster: %w", err)
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.Mem{}
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 16
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -100,15 +130,22 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		workers = cfg.Range.Width()
 	}
 	f := &Frontend{
-		rng:       cfg.Range,
-		scheme:    cfg.Scheme,
-		boxes:     boxes,
-		workers:   workers,
-		reg:       newRegistry(),
-		round:     1,
-		stranded:  make(map[uint64]map[string]bool),
-		externals: make(map[string]*externalUser),
-		banned:    make(map[string]bool),
+		rng:           cfg.Range,
+		scheme:        cfg.Scheme,
+		boxes:         boxes,
+		workers:       workers,
+		reg:           newRegistry(),
+		st:            cfg.Store,
+		snapshotEvery: cfg.SnapshotEvery,
+		round:         1,
+		stranded:      make(map[uint64]map[string]bool),
+		externals:     make(map[string]*externalUser),
+		banned:        make(map[string]bool),
+	}
+	if cfg.Recovered != nil {
+		if err := f.recover(cfg.Recovered); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.NumChains > 0 {
 		if err := f.Rebalance(0, cfg.NumChains); err != nil {
@@ -116,6 +153,21 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		}
 	}
 	return f, nil
+}
+
+// recover rebuilds the shard's durable state from what store.Open
+// read back: the snapshot image first, then the WAL records appended
+// after it, in order.
+func (f *Frontend) recover(rec *store.Recovered) error {
+	if len(rec.Snapshot) > 0 {
+		f.mu.Lock()
+		err := f.applySnapshotLocked(rec.Snapshot)
+		f.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: shard %s snapshot recovery: %w", f.rng, err)
+		}
+	}
+	return f.replayRecords(rec.Records)
 }
 
 // Range implements GatewayShard.
@@ -206,6 +258,9 @@ func (f *Frontend) Rebalance(epoch uint64, numChains int) error {
 		return err
 	}
 	plan := f.plan
+	f.st.Append(opWatermark, encodeWatermark(watermark{
+		round: f.round, epoch: epoch, numChains: numChains, collected: f.collected,
+	}))
 	f.mu.Unlock()
 
 	for i := f.rng.Lo; i < f.rng.Hi; i++ {
@@ -273,6 +328,11 @@ func (f *Frontend) Register(mailboxID []byte) error {
 		return fmt.Errorf("core: user was removed for misbehaviour; registration refused")
 	}
 	f.reg.insert(key, &registeredUser{})
+	// Appended but not synced: the registration becomes durable at the
+	// next sync point (the user's first submission at the latest). A
+	// crash before then loses only the registration, which the client
+	// retries idempotently.
+	f.st.Append(opRegister, mailboxID)
 	return nil
 }
 
@@ -313,10 +373,27 @@ func (f *Frontend) FetchMailbox(round uint64, mailboxID []byte) [][]byte {
 	return f.boxes.Fetch(round, mailboxID)
 }
 
+// AckMailbox prunes a mailbox's messages for a round after the owner
+// confirmed receipt, returning how many were removed. Appended but
+// not synced: losing an ack to a crash merely redelivers — which the
+// at-least-once contract allows and client-side dedup absorbs.
+func (f *Frontend) AckMailbox(round uint64, mailboxID []byte) int {
+	n := f.boxes.Ack(round, mailboxID)
+	if n > 0 {
+		f.st.Append(opAck, encodeAck(round, mailboxID))
+	}
+	return n
+}
+
 // PruneBefore discards mailbox state older than the given round.
 func (f *Frontend) PruneBefore(round uint64) {
 	f.boxes.PruneBefore(round)
+	f.st.Append(opPrune, appendUvarint(nil, round))
 }
+
+// Close releases the shard's durability engine, syncing outstanding
+// records. The frontend itself holds no other external resources.
+func (f *Frontend) Close() error { return f.st.Close() }
 
 // StrandedError reports whether the mailbox's user was stranded in
 // the given executed round; see recover.go.
@@ -382,21 +459,28 @@ func (f *Frontend) BeginRound(br *BeginRound) (*ShardBuild, error) {
 
 // FinishRound implements GatewayShard: deliver the routed mailbox
 // messages, remove and ban the convicted, record the stranded, adopt
-// the next round's parameters.
-func (f *Frontend) FinishRound(fr *FinishRound) (int, error) {
-	delivered, _ := f.boxes.Deliver(fr.Round, fr.Delivered)
+// the next round's parameters. The round commit is one durability
+// point: the deliveries, bans and advanced watermark are logged and
+// synced together, so a crash either shows the round fully finished
+// or not finished at all — never half.
+func (f *Frontend) FinishRound(fr *FinishRound) (FinishStats, error) {
+	delivered, _, dropped := f.boxes.Deliver(fr.Round, fr.Delivered)
 	for _, who := range fr.Removed {
 		f.reg.markRemoved(who)
 	}
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if len(fr.Delivered) > 0 {
+		f.st.Append(opDeliver, encodeDeliver(fr.Round, fr.Delivered))
+	}
 	for _, who := range fr.Removed {
 		// Ban at the transport layer too: external users have no
 		// registry client state, and a removed user's banked traffic
 		// must never run (§6.4).
 		f.banned[who] = true
 		delete(f.externals, who)
+		f.st.Append(opBan, []byte(who))
 	}
 	if len(fr.Stranded) > 0 {
 		set := make(map[string]bool, len(fr.Stranded))
@@ -414,7 +498,25 @@ func (f *Frontend) FinishRound(fr *FinishRound) (int, error) {
 	if len(fr.Cur) > 0 {
 		f.params = newRoundParams(fr.Round+1, fr.Cur, fr.Next, fr.Dead)
 	}
-	return delivered, nil
+	f.st.Append(opWatermark, encodeWatermark(watermark{
+		round: f.round, epoch: fr.Epoch, numChains: fr.NumChains, collected: f.collected,
+	}))
+	var err error
+	if f.sinceSnap++; f.sinceSnap >= f.snapshotEvery {
+		// Compact: the snapshot covers everything logged so far, so
+		// replay cost and disk use stay bounded by the snapshot
+		// cadence rather than deployment lifetime. Snapshot is
+		// internally durable (tmp+fsync+rename).
+		if err = f.st.Snapshot(f.encodeSnapshotLocked()); err == nil {
+			f.sinceSnap = 0
+		}
+	} else {
+		err = f.st.Sync()
+	}
+	if err != nil {
+		return FinishStats{}, fmt.Errorf("core: shard %s round %d commit: %w", f.rng, fr.Round, err)
+	}
+	return FinishStats{Delivered: delivered, Dropped: dropped}, nil
 }
 
 // AbortRound implements GatewayShard: the round failed after its

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/client"
@@ -129,6 +130,27 @@ func (r *registry) view(key string, fn func(*registeredUser)) bool {
 // (§6.4). It touches only the owning shard.
 func (r *registry) markRemoved(key string) {
 	r.update(key, func(ru *registeredUser) { ru.removed = true })
+}
+
+// transportKeys returns the mailbox identifiers of every non-removed
+// network-transport registration (entries without client state) in
+// the given range, sorted — the registration set a durable snapshot
+// persists. In-process users carry live key material that cannot be
+// serialised and are excluded by design.
+func (r *registry) transportKeys(rng ShardRange) []string {
+	var out []string
+	for i := rng.Lo; i < rng.Hi; i++ {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for key, ru := range sh.users {
+			if ru.u == nil && !ru.removed {
+				out = append(out, key)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
 }
 
 // countActive returns the number of registered, non-removed users.

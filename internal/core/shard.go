@@ -127,6 +127,14 @@ type FinishRound struct {
 	Dead      []int
 }
 
+// FinishStats is a shard's round-finish accounting: messages stored
+// into mailboxes and old messages the per-mailbox depth cap evicted
+// to make room.
+type FinishStats struct {
+	Delivered int
+	Dropped   int
+}
+
 // GatewayShard is the coordinator's handle on one gateway front-end
 // shard. Frontend implements it in-process; rpc.ShardClient carries
 // it to a shard in another process over TLS. Implementations must
@@ -141,8 +149,8 @@ type GatewayShard interface {
 	// own users are stranded.
 	BeginRound(br *BeginRound) (*ShardBuild, error)
 	// FinishRound delivers routed messages and blame results, returns
-	// the number of messages stored.
-	FinishRound(fr *FinishRound) (int, error)
+	// storage accounting (messages stored, depth-cap evictions).
+	FinishRound(fr *FinishRound) (FinishStats, error)
 	// AbortRound reopens the submission window for a round that
 	// failed after BeginRound and will be retried.
 	AbortRound(round uint64)

@@ -139,9 +139,9 @@ func (s *flakyShard) BeginRound(br *BeginRound) (*ShardBuild, error) {
 	return s.Frontend.BeginRound(br)
 }
 
-func (s *flakyShard) FinishRound(fr *FinishRound) (int, error) {
+func (s *flakyShard) FinishRound(fr *FinishRound) (FinishStats, error) {
 	if s.failFinish {
-		return 0, errors.New("injected: shard down at finish")
+		return FinishStats{}, errors.New("injected: shard down at finish")
 	}
 	return s.Frontend.FinishRound(fr)
 }

@@ -205,16 +205,31 @@ func Parse(spec string, seed int64) (*Injector, error) {
 			var err error
 			switch k {
 			case "target":
+				// path.Match reports malformed patterns lazily, per
+				// call; validate here so a typo ("srv[") fails the flag
+				// parse instead of silently matching nothing forever.
+				if _, merr := path.Match(v, "probe"); merr != nil {
+					err = fmt.Errorf("bad target pattern %q: %v", v, merr)
+					break
+				}
 				r.Target = v
 			case "delay":
 				r.Delay, err = time.ParseDuration(v)
 			case "after":
 				r.After, err = strconv.Atoi(v)
+				if err == nil && r.After < 0 {
+					err = fmt.Errorf("after %d is negative", r.After)
+				}
 			case "count":
 				r.Count, err = strconv.Atoi(v)
+				if err == nil && r.Count < 0 {
+					err = fmt.Errorf("count %d is negative", r.Count)
+				}
 			case "prob":
 				r.Prob, err = strconv.ParseFloat(v, 64)
-				if err == nil && (r.Prob < 0 || r.Prob > 1) {
+				// The inverted comparison also rejects NaN, which would
+				// otherwise slip past both bounds and always fire.
+				if err == nil && !(r.Prob >= 0 && r.Prob <= 1) {
 					err = fmt.Errorf("probability %v outside [0,1]", r.Prob)
 				}
 			default:

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parse grammar edge cases: the -faults flag is typed by hand into
+// deployment scripts, so malformed specs must fail the parse loudly
+// instead of yielding a rule that silently never (or always) fires.
+
+func TestParseEmptyRulesSkipped(t *testing.T) {
+	for _, spec := range []string{";", " ; ; ", "drop;;", ";drop;", "drop; ;partition"} {
+		in, err := Parse(spec, 0)
+		if err != nil {
+			t.Errorf("spec %q: %v", spec, err)
+			continue
+		}
+		want := strings.Count(spec, "drop") + strings.Count(spec, "partition")
+		if got := len(in.Rules()); got != want {
+			t.Errorf("spec %q parsed to %d rules, want %d", spec, got, want)
+		}
+	}
+}
+
+func TestParseBadGlobRejected(t *testing.T) {
+	for _, spec := range []string{"drop,target=srv[", "drop,target=[a-", `drop,target=\`} {
+		_, err := Parse(spec, 0)
+		if err == nil {
+			t.Errorf("spec %q with malformed pattern parsed without error", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "pattern") {
+			t.Errorf("spec %q error does not name the pattern: %v", spec, err)
+		}
+	}
+	// The same characters in a well-formed class are fine.
+	if _, err := Parse("drop,target=srv[0-9]", 0); err != nil {
+		t.Errorf("well-formed class rejected: %v", err)
+	}
+}
+
+func TestParseNegativeGatesRejected(t *testing.T) {
+	for _, spec := range []string{"drop,after=-1", "drop,count=-2"} {
+		if _, err := Parse(spec, 0); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestParseProbBounds(t *testing.T) {
+	for _, spec := range []string{"corrupt,prob=0", "corrupt,prob=1", "corrupt,prob=0.999"} {
+		if _, err := Parse(spec, 0); err != nil {
+			t.Errorf("spec %q: %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"corrupt,prob=-0.1", "corrupt,prob=1.0001", "corrupt,prob=NaN", "corrupt,prob=x"} {
+		if _, err := Parse(spec, 0); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+// TestAfterCountOverlap pins the gate composition: after=N skips the
+// first N matched operations, count=M bounds firings, so the rule
+// fires on exactly operations N+1 .. N+M.
+func TestAfterCountOverlap(t *testing.T) {
+	in, err := Parse("drop,after=2,count=2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for op := 1; op <= 6; op++ {
+		if r := in.decide("any"); r != nil {
+			fired = append(fired, op)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("after=2,count=2 fired on ops %v, want [3 4]", fired)
+	}
+	if got := in.Rules()[0].Fired(); got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+}
+
+// TestAfterZeroCountZero: no gates means every matched operation
+// fires — the degenerate overlap.
+func TestAfterZeroCountZero(t *testing.T) {
+	in, err := Parse("drop", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 1; op <= 4; op++ {
+		if in.decide("any") == nil {
+			t.Fatalf("ungated rule skipped op %d", op)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package mailbox
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/group"
+)
+
+func TestDepthCapEvictsOldest(t *testing.T) {
+	s := NewServerLimited(3)
+	mb := []byte("alice")
+	for i := 0; i < 5; i++ {
+		dropped := s.Put(uint64(i), mb, []byte{byte(i)})
+		if i < 3 && dropped != 0 {
+			t.Fatalf("put %d: dropped %d under cap", i, dropped)
+		}
+		if i >= 3 && dropped != 1 {
+			t.Fatalf("put %d: dropped %d, want 1", i, dropped)
+		}
+	}
+	// Rounds 0 and 1 were evicted; 2..4 remain.
+	for r := 0; r < 5; r++ {
+		got := s.Get(uint64(r), mb)
+		if r < 2 && len(got) != 0 {
+			t.Fatalf("round %d survived eviction: %v", r, got)
+		}
+		if r >= 2 && (len(got) != 1 || got[0][0] != byte(r)) {
+			t.Fatalf("round %d = %v", r, got)
+		}
+	}
+}
+
+func TestDepthCapWithinOneRound(t *testing.T) {
+	s := NewServerLimited(2)
+	mb := []byte("bob")
+	dropped := s.PutBatch(7, []Delivery{
+		{Mailbox: mb, Msg: []byte("a")},
+		{Mailbox: mb, Msg: []byte("b")},
+		{Mailbox: mb, Msg: []byte("c")},
+	})
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	got := s.Get(7, mb)
+	if len(got) != 2 || string(got[0]) != "b" || string(got[1]) != "c" {
+		t.Fatalf("retained %q, want [b c]", got)
+	}
+}
+
+func TestDepthCapPerMailbox(t *testing.T) {
+	s := NewServerLimited(1)
+	if d := s.Put(1, []byte("a"), []byte("x")); d != 0 {
+		t.Fatalf("dropped %d", d)
+	}
+	// A different mailbox has its own budget.
+	if d := s.Put(1, []byte("b"), []byte("y")); d != 0 {
+		t.Fatalf("dropped %d", d)
+	}
+}
+
+func TestAckPrunes(t *testing.T) {
+	s := NewServer()
+	mb := []byte("carol")
+	s.Put(3, mb, []byte("m1"))
+	s.Put(3, mb, []byte("m2"))
+	s.Put(4, mb, []byte("m3"))
+	if n := s.Ack(3, mb); n != 2 {
+		t.Fatalf("Ack round 3 pruned %d, want 2", n)
+	}
+	if got := s.Get(3, mb); len(got) != 0 {
+		t.Fatalf("acked mail still present: %v", got)
+	}
+	if got := s.Get(4, mb); len(got) != 1 {
+		t.Fatalf("unacked round lost: %v", got)
+	}
+	if n := s.Ack(3, mb); n != 0 {
+		t.Fatalf("second Ack pruned %d", n)
+	}
+	// Ack frees depth budget.
+	s2 := NewServerLimited(1)
+	s2.Put(1, mb, []byte("old"))
+	s2.Ack(1, mb)
+	if d := s2.Put(2, mb, []byte("new")); d != 0 {
+		t.Fatalf("ack did not release depth: dropped %d", d)
+	}
+}
+
+func TestPruneBeforeReleasesDepth(t *testing.T) {
+	s := NewServerLimited(2)
+	mb := []byte("dave")
+	s.Put(1, mb, []byte("a"))
+	s.Put(2, mb, []byte("b"))
+	s.PruneBefore(3)
+	if d := s.PutBatch(3, []Delivery{{Mailbox: mb, Msg: []byte("c")}, {Mailbox: mb, Msg: []byte("d")}}); d != 0 {
+		t.Fatalf("prune did not release depth: dropped %d", d)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.serverFor([]byte("u1")).Put(1, []byte("u1"), []byte("m1"))
+	c.serverFor([]byte("u1")).Put(2, []byte("u1"), []byte("m2"))
+	c.serverFor([]byte("u2")).Put(1, []byte("u2"), []byte("m3"))
+
+	exp := c.Export()
+	if len(exp) != 3 {
+		t.Fatalf("exported %d entries, want 3", len(exp))
+	}
+	// Deterministic order: (round, mailbox) ascending.
+	for i := 1; i < len(exp); i++ {
+		a, b := exp[i-1], exp[i]
+		if a.Round > b.Round || (a.Round == b.Round && bytes.Compare(a.Mailbox, b.Mailbox) >= 0) {
+			t.Fatalf("export order broken at %d: %+v then %+v", i, a, b)
+		}
+	}
+
+	c2, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Import(exp)
+	for _, e := range exp {
+		got := c2.Fetch(e.Round, e.Mailbox)
+		if len(got) != len(e.Msgs) {
+			t.Fatalf("round %d mailbox %q: %d msgs after import, want %d", e.Round, e.Mailbox, len(got), len(e.Msgs))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], e.Msgs[i]) {
+				t.Fatalf("message %d mismatch after import", i)
+			}
+		}
+	}
+	// Export of the copy matches the original byte for byte.
+	exp2 := c2.Export()
+	if len(exp2) != len(exp) {
+		t.Fatalf("re-export %d entries, want %d", len(exp2), len(exp))
+	}
+}
+
+func TestDeliverReportsDropped(t *testing.T) {
+	c, err := NewClusterLimited(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two well-formed messages to the same recipient overflow a
+	// depth-1 mailbox.
+	rcpt := group.Base(group.NewScalar(42))
+	m1 := mailboxMsg(t, rcpt, 9)
+	m2 := mailboxMsg(t, rcpt, 9)
+	delivered, malformed, dropped := c.Deliver(9, [][]byte{m1, m2})
+	if delivered != 2 || malformed != 0 || dropped != 1 {
+		t.Fatalf("Deliver = (%d, %d, %d), want (2, 0, 1)", delivered, malformed, dropped)
+	}
+}

@@ -12,9 +12,11 @@
 package mailbox
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/onion"
@@ -27,17 +29,33 @@ type Server struct {
 	// boxes[round][mailbox] is the list of messages delivered to the
 	// mailbox in that round.
 	boxes map[uint64]map[string][][]byte
+	// depth[mailbox] counts that mailbox's messages across every
+	// retained round, enforcing maxDepth.
+	depth map[string]int
+	// maxDepth caps a mailbox's retained messages; 0 means unlimited.
+	// Past the cap the OLDEST messages are evicted first — a user who
+	// stops fetching loses history, not fresh mail.
+	maxDepth int
 }
 
-// NewServer returns an empty mailbox server.
-func NewServer() *Server {
-	return &Server{boxes: make(map[uint64]map[string][][]byte)}
+// NewServer returns an empty mailbox server with unbounded mailboxes.
+func NewServer() *Server { return NewServerLimited(0) }
+
+// NewServerLimited returns an empty mailbox server whose mailboxes
+// each retain at most maxDepth messages (0 = unlimited).
+func NewServerLimited(maxDepth int) *Server {
+	return &Server{
+		boxes:    make(map[uint64]map[string][][]byte),
+		depth:    make(map[string]int),
+		maxDepth: maxDepth,
+	}
 }
 
-// Put appends a message to a mailbox for a round. The message is
-// stored as given; mailbox servers never inspect contents.
-func (s *Server) Put(round uint64, mailbox []byte, msg []byte) {
-	s.PutBatch(round, []Delivery{{Mailbox: mailbox, Msg: msg}})
+// Put appends a message to a mailbox for a round, returning how many
+// old messages the depth cap evicted. The message is stored as given;
+// mailbox servers never inspect contents.
+func (s *Server) Put(round uint64, mailbox []byte, msg []byte) (dropped int) {
+	return s.PutBatch(round, []Delivery{{Mailbox: mailbox, Msg: msg}})
 }
 
 // Delivery is one routed message: a mailbox identifier and the
@@ -49,10 +67,11 @@ type Delivery struct {
 
 // PutBatch appends a batch of messages to their mailboxes for a
 // round under a single lock acquisition — the bulk path mix chains
-// use when a whole round's output lands at once.
-func (s *Server) PutBatch(round uint64, items []Delivery) {
+// use when a whole round's output lands at once. The return value is
+// the number of old messages evicted by the depth cap.
+func (s *Server) PutBatch(round uint64, items []Delivery) (dropped int) {
 	if len(items) == 0 {
-		return
+		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -62,8 +81,64 @@ func (s *Server) PutBatch(round uint64, items []Delivery) {
 		s.boxes[round] = rb
 	}
 	for _, it := range items {
-		rb[string(it.Mailbox)] = append(rb[string(it.Mailbox)], append([]byte(nil), it.Msg...))
+		mb := string(it.Mailbox)
+		rb[mb] = append(rb[mb], append([]byte(nil), it.Msg...))
+		s.depth[mb]++
+		for s.maxDepth > 0 && s.depth[mb] > s.maxDepth {
+			s.evictOldestLocked(mb)
+			dropped++
+		}
 	}
+	return dropped
+}
+
+// evictOldestLocked removes mailbox mb's single oldest message: the
+// first entry of its earliest retained round. Callers hold s.mu and
+// guarantee depth[mb] > 0.
+func (s *Server) evictOldestLocked(mb string) {
+	oldest := uint64(0)
+	found := false
+	for r, rb := range s.boxes {
+		if len(rb[mb]) == 0 {
+			continue
+		}
+		if !found || r < oldest {
+			oldest, found = r, true
+		}
+	}
+	if !found {
+		return
+	}
+	msgs := s.boxes[oldest][mb]
+	if len(msgs) == 1 {
+		delete(s.boxes[oldest], mb)
+	} else {
+		s.boxes[oldest][mb] = msgs[1:]
+	}
+	s.depth[mb]--
+	if s.depth[mb] == 0 {
+		delete(s.depth, mb)
+	}
+}
+
+// Ack removes a mailbox's messages for a round after the owner has
+// confirmed receipt, so delivered mail never accretes (and, under a
+// durable store, is compacted out at the next snapshot). Returns how
+// many messages were pruned.
+func (s *Server) Ack(round uint64, mailbox []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mb := string(mailbox)
+	n := len(s.boxes[round][mb])
+	if n == 0 {
+		return 0
+	}
+	delete(s.boxes[round], mb)
+	s.depth[mb] -= n
+	if s.depth[mb] <= 0 {
+		delete(s.depth, mb)
+	}
+	return n
 }
 
 // Get returns all messages delivered to a mailbox in a round; the
@@ -96,11 +171,49 @@ func (s *Server) CountForRound(round uint64) int {
 func (s *Server) PruneBefore(round uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for r := range s.boxes {
+	for r, rb := range s.boxes {
 		if r < round {
+			for mb, msgs := range rb {
+				s.depth[mb] -= len(msgs)
+				if s.depth[mb] <= 0 {
+					delete(s.depth, mb)
+				}
+			}
 			delete(s.boxes, r)
 		}
 	}
+}
+
+// Entry is one mailbox's retained messages for one round, as exported
+// for snapshots.
+type Entry struct {
+	Round   uint64
+	Mailbox []byte
+	Msgs    [][]byte
+}
+
+// export deep-copies the server's retained state, sorted by (round,
+// mailbox) so snapshots are deterministic.
+func (s *Server) export() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for r, rb := range s.boxes {
+		for mb, msgs := range rb {
+			cp := make([][]byte, len(msgs))
+			for i, m := range msgs {
+				cp[i] = append([]byte(nil), m...)
+			}
+			out = append(out, Entry{Round: r, Mailbox: []byte(mb), Msgs: cp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return bytes.Compare(out[i].Mailbox, out[j].Mailbox) < 0
+	})
+	return out
 }
 
 // Cluster shards mailboxes over several servers by identifier hash,
@@ -110,14 +223,20 @@ type Cluster struct {
 	servers []*Server
 }
 
-// NewCluster creates a cluster of n fresh mailbox servers.
-func NewCluster(n int) (*Cluster, error) {
+// NewCluster creates a cluster of n fresh mailbox servers with
+// unbounded mailboxes.
+func NewCluster(n int) (*Cluster, error) { return NewClusterLimited(n, 0) }
+
+// NewClusterLimited creates a cluster of n fresh mailbox servers,
+// each capping mailboxes at maxDepth retained messages (0 =
+// unlimited, oldest evicted first past the cap).
+func NewClusterLimited(n, maxDepth int) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mailbox: cluster needs at least one server, got %d", n)
 	}
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
-		c.servers = append(c.servers, NewServer())
+		c.servers = append(c.servers, NewServerLimited(maxDepth))
 	}
 	return c, nil
 }
@@ -144,7 +263,8 @@ const deliverConcurrencyThreshold = 64
 // Deliver routes a batch of mix-chain output messages to their
 // mailboxes (Algorithm 1 step 2b: "send the message to the mailbox
 // server that manages mailbox pk_u"). Malformed messages are counted
-// and dropped; mix chains only emit well-formed ones.
+// and dropped; mix chains only emit well-formed ones. dropped counts
+// old messages the per-mailbox depth cap evicted to make room.
 //
 // The batch is bucketed by home server first and each server's bucket
 // lands through one PutBatch — one lock acquisition per server rather
@@ -153,7 +273,7 @@ const deliverConcurrencyThreshold = 64
 // concurrently (the round pipeline delivers every chain's output in
 // parallel); cross-server sharding keeps those writers off each
 // other's locks.
-func (c *Cluster) Deliver(round uint64, msgs [][]byte) (delivered, malformed int) {
+func (c *Cluster) Deliver(round uint64, msgs [][]byte) (delivered, malformed, dropped int) {
 	buckets := make([][]Delivery, len(c.servers))
 	for _, m := range msgs {
 		rcpt, err := onion.Recipient(m)
@@ -167,11 +287,15 @@ func (c *Cluster) Deliver(round uint64, msgs [][]byte) (delivered, malformed int
 	}
 	if delivered < deliverConcurrencyThreshold || len(c.servers) == 1 {
 		for i, b := range buckets {
-			c.servers[i].PutBatch(round, b)
+			dropped += c.servers[i].PutBatch(round, b)
 		}
-		return delivered, malformed
+		return delivered, malformed, dropped
 	}
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		dropTot int
+	)
 	for i, b := range buckets {
 		if len(b) == 0 {
 			continue
@@ -179,17 +303,55 @@ func (c *Cluster) Deliver(round uint64, msgs [][]byte) (delivered, malformed int
 		wg.Add(1)
 		go func(s *Server, items []Delivery) {
 			defer wg.Done()
-			s.PutBatch(round, items)
+			n := s.PutBatch(round, items)
+			if n > 0 {
+				mu.Lock()
+				dropTot += n
+				mu.Unlock()
+			}
 		}(c.servers[i], b)
 	}
 	wg.Wait()
-	return delivered, malformed
+	return delivered, malformed, dropped + dropTot
 }
 
 // Fetch returns the round's messages for a mailbox from its home
 // server.
 func (c *Cluster) Fetch(round uint64, mailbox []byte) [][]byte {
 	return c.serverFor(mailbox).Get(round, mailbox)
+}
+
+// Ack prunes a mailbox's messages for a round once the owner has
+// acknowledged receipt, returning the number removed.
+func (c *Cluster) Ack(round uint64, mailbox []byte) int {
+	return c.serverFor(mailbox).Ack(round, mailbox)
+}
+
+// Export deep-copies the cluster's retained state in deterministic
+// (round, mailbox) order, for durability snapshots.
+func (c *Cluster) Export() []Entry {
+	var out []Entry
+	for _, s := range c.servers {
+		out = append(out, s.export()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return bytes.Compare(out[i].Mailbox, out[j].Mailbox) < 0
+	})
+	return out
+}
+
+// Import loads exported entries back into the cluster, routing each
+// mailbox to its home server. Used on crash recovery before WAL
+// records replay on top.
+func (c *Cluster) Import(entries []Entry) {
+	for _, e := range entries {
+		for _, m := range e.Msgs {
+			c.serverFor(e.Mailbox).Put(e.Round, e.Mailbox, m)
+		}
+	}
 }
 
 // TotalForRound sums stored messages across all servers for a round.

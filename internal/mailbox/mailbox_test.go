@@ -130,7 +130,7 @@ func TestClusterConcurrentDeliver(t *testing.T) {
 		wg.Add(1)
 		go func(msgs [][]byte) {
 			defer wg.Done()
-			if d, m := c.Deliver(1, msgs); d != perChain || m != 0 {
+			if d, m, _ := c.Deliver(1, msgs); d != perChain || m != 0 {
 				t.Errorf("delivered=%d malformed=%d", d, m)
 			}
 		}(batches[ch])
@@ -171,7 +171,7 @@ func TestClusterDeliverAndFetch(t *testing.T) {
 		recipients[i] = group.Base(group.NewScalar(int64(i + 1)))
 		msgs[i] = mailboxMsg(t, recipients[i], 1)
 	}
-	delivered, malformed := c.Deliver(1, msgs)
+	delivered, malformed, _ := c.Deliver(1, msgs)
 	if delivered != users || malformed != 0 {
 		t.Fatalf("delivered=%d malformed=%d", delivered, malformed)
 	}
@@ -191,7 +191,7 @@ func TestClusterDropsMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delivered, malformed := c.Deliver(1, [][]byte{[]byte("short"), nil})
+	delivered, malformed, _ := c.Deliver(1, [][]byte{[]byte("short"), nil})
 	if delivered != 0 || malformed != 2 {
 		t.Fatalf("delivered=%d malformed=%d", delivered, malformed)
 	}

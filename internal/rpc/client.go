@@ -233,6 +233,16 @@ func (c *Client) Fetch(round uint64, mailbox []byte) ([][]byte, error) {
 	return resp.Messages, nil
 }
 
+// Ack confirms receipt of a round's mailbox contents, letting the
+// gateway prune them. Returns the number of messages pruned.
+func (c *Client) Ack(round uint64, mailbox []byte) (int, error) {
+	var resp AckResponse
+	if err := c.call("ack", AckRequest{Round: round, Mailbox: mailbox}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Pruned, nil
+}
+
 // Status reports the deployment's shape and current round.
 func (c *Client) Status() (StatusResponse, error) {
 	var resp StatusResponse

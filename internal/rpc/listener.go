@@ -73,6 +73,13 @@ func newListenerCore(addr string, handle func(method string, body []byte) ([]byt
 	if err != nil {
 		return nil, err
 	}
+	return newListenerCoreTLS(addr, serverTLS, clientTLS, handle)
+}
+
+// newListenerCoreTLS starts a TLS listener with a caller-supplied
+// identity — how a durable endpoint presents the same pinned
+// certificate across restarts (see LoadOrCreateTLSIdentity).
+func newListenerCoreTLS(addr string, serverTLS, clientTLS *tls.Config, handle func(method string, body []byte) ([]byte, error)) (*listenerCore, error) {
 	ln, err := tls.Listen("tcp", addr, serverTLS)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listening on %s: %w", addr, err)

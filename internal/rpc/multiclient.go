@@ -1,10 +1,17 @@
 package rpc
 
 import (
+	"context"
+	"crypto/sha256"
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -17,6 +24,80 @@ type Endpoint struct {
 	TLS  *tls.Config
 }
 
+// Backoff bounds MultiClient's retry schedule. One "attempt" is a
+// full failover cycle over every gateway; between attempts the client
+// sleeps an exponentially growing, jittered interval — long enough
+// for a crashed gateway to restart and replay its WAL, spread out so
+// a fleet of clients does not stampede it the moment it returns.
+type Backoff struct {
+	// Attempts is the number of failover cycles; zero means 3.
+	Attempts int
+	// Base is the sleep after the first failed cycle, doubling per
+	// cycle; zero means 50ms.
+	Base time.Duration
+	// Max caps the per-cycle sleep; zero means 2s.
+	Max time.Duration
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts <= 0 {
+		return 3
+	}
+	return b.Attempts
+}
+
+// sleep returns the jittered pause before retry cycle a (a ≥ 1):
+// half the exponential interval fixed plus half uniformly random.
+func (b Backoff) sleep(a int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (a - 1)
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// retriable reports whether an error justifies trying another gateway
+// (or the same set again after a pause). Transport-level failures
+// obviously do; so do deadline expiries in every shape they reach us:
+// a local net.Conn deadline surfaces as a net.Error timeout inside a
+// TransportError, but a gateway that is up while its backend is
+// wedged relays the deadline as a flattened application-error string,
+// which the pre-failover client treated as authoritative and gave up
+// on. An application-level rejection ("round closed", "banned") stays
+// final.
+func retriable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsTransportError(err) {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// Server-relayed errors cross the wire as strings (response.Err);
+	// match the two spellings Go's deadline machinery produces.
+	msg := err.Error()
+	return strings.Contains(msg, "deadline exceeded") || strings.Contains(msg, "i/o timeout")
+}
+
+// dedupWindow is how many rounds a fetched message's digest is
+// remembered for duplicate suppression. Redelivery after a gateway
+// restart lands within a round or two; 8 leaves slack for retried
+// rounds without growing the set unboundedly.
+const dedupWindow = 8
+
 // MultiClient is a user's view of a sharded gateway front end: a set
 // of gateways, the shard ranges they own (discovered from their
 // status endpoints), and failover. Operations that any gateway can
@@ -28,12 +109,20 @@ type Endpoint struct {
 // against a single gateway.
 type MultiClient struct {
 	clients []*Client
+	// Backoff tunes the retry schedule; the zero value means 3
+	// attempts, 50ms base, 2s cap. Set before concurrent use.
+	Backoff Backoff
 
 	mu sync.Mutex
 	// ranges[i] is clients[i]'s discovered shard range; the zero value
 	// means unknown (not yet refreshed, or a coordinator serving the
 	// full space — which FullRange covers either way).
 	ranges []core.ShardRange
+	// seen maps digests of fetched messages to the fetch round that
+	// first returned them, suppressing duplicates when a restarted
+	// gateway redelivers unacked mail (at-least-once downstream,
+	// exactly-once at the application). Pruned to dedupWindow rounds.
+	seen map[[sha256.Size]byte]uint64
 }
 
 var _ client.ParamsSource = (*MultiClient)(nil)
@@ -44,7 +133,10 @@ func NewMultiClient(endpoints []Endpoint) (*MultiClient, error) {
 	if len(endpoints) == 0 {
 		return nil, errors.New("rpc: no gateway endpoints")
 	}
-	m := &MultiClient{ranges: make([]core.ShardRange, len(endpoints))}
+	m := &MultiClient{
+		ranges: make([]core.ShardRange, len(endpoints)),
+		seen:   make(map[[sha256.Size]byte]uint64),
+	}
 	for _, ep := range endpoints {
 		m.clients = append(m.clients, NewClient(ep.Addr, ep.TLS))
 	}
@@ -111,20 +203,29 @@ func (m *MultiClient) ClientFor(mailbox []byte) *Client {
 }
 
 // tryEach runs op against the gateways starting from preferred,
-// failing over to the next on transport-level errors only: an
-// application-level rejection is authoritative and returned as is.
+// failing over to the next on retriable errors (transport failures
+// and deadline expiries — see retriable); an application-level
+// rejection is authoritative and returned as is. When a whole cycle
+// fails it backs off (bounded exponential with jitter) and runs
+// another, up to Backoff.Attempts cycles — covering the window in
+// which a crashed gateway restarts and replays its data directory.
 func (m *MultiClient) tryEach(preferred int, op func(*Client) error) error {
 	if preferred < 0 {
 		preferred = 0
 	}
 	var lastErr error
-	for k := 0; k < len(m.clients); k++ {
-		c := m.clients[(preferred+k)%len(m.clients)]
-		err := op(c)
-		if err == nil || !IsTransportError(err) {
-			return err
+	for a := 0; a < m.Backoff.attempts(); a++ {
+		if a > 0 {
+			time.Sleep(m.Backoff.sleep(a))
 		}
-		lastErr = err
+		for k := 0; k < len(m.clients); k++ {
+			c := m.clients[(preferred+k)%len(m.clients)]
+			err := op(c)
+			if err == nil || !retriable(err) {
+				return err
+			}
+			lastErr = err
+		}
 	}
 	return lastErr
 }
@@ -163,26 +264,103 @@ func (m *MultiClient) Submit(mailbox []byte, out *client.RoundOutput) error {
 }
 
 // Fetch downloads a mailbox from its owning gateway — mailbox storage
-// is not replicated, so there is no failover target. With ownership
-// unknown every gateway is asked and the first non-empty (or last
-// empty) answer wins.
+// is not replicated, so there is no failover target; instead the
+// owner is retried with backoff, covering a crashed gateway's
+// restart-and-replay window. With ownership unknown every gateway is
+// asked and the first non-empty (or last empty) answer wins.
+//
+// Fetched messages are deduplicated against recent fetches: a
+// restarted gateway redelivers everything unacked (at-least-once),
+// and the digest set turns that into exactly-once for the caller.
 func (m *MultiClient) Fetch(round uint64, mailbox []byte) ([][]byte, error) {
 	if i := m.ownerIdx(mailbox); i >= 0 {
-		return m.clients[i].Fetch(round, mailbox)
-	}
-	var msgs [][]byte
-	err := m.tryEach(0, func(c *Client) error {
+		c := m.clients[i]
+		var msgs [][]byte
 		var err error
-		msgs, err = c.Fetch(round, mailbox)
-		if err == nil && len(msgs) == 0 && len(m.clients) > 1 {
-			return &TransportError{Op: "fetch", Err: errors.New("empty mailbox; trying owner candidates")}
+		for a := 0; a < m.Backoff.attempts(); a++ {
+			if a > 0 {
+				time.Sleep(m.Backoff.sleep(a))
+			}
+			msgs, err = c.Fetch(round, mailbox)
+			if err == nil || !retriable(err) {
+				break
+			}
 		}
-		return err
-	})
-	if err != nil && len(msgs) == 0 && IsTransportError(err) {
-		return msgs, nil // every gateway answered empty
+		if err != nil {
+			return nil, err
+		}
+		return m.dedupFetched(round, msgs), nil
 	}
-	return msgs, err
+	// Owner unknown: probe every gateway once (no backoff — an empty
+	// answer from each is a legitimate "no mail", not a failure).
+	var empty bool
+	var lastErr error
+	for _, c := range m.clients {
+		msgs, err := c.Fetch(round, mailbox)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(msgs) > 0 {
+			return m.dedupFetched(round, msgs), nil
+		}
+		empty = true
+	}
+	if empty || lastErr == nil {
+		return nil, nil // every reachable gateway answered empty
+	}
+	return nil, lastErr
+}
+
+// dedupFetched filters out messages whose digest an earlier fetch
+// already returned, records the survivors, and prunes digests older
+// than dedupWindow rounds.
+func (m *MultiClient) dedupFetched(round uint64, msgs [][]byte) [][]byte {
+	if len(msgs) == 0 {
+		return msgs
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]byte, 0, len(msgs))
+	for _, msg := range msgs {
+		h := sha256.Sum256(msg)
+		if _, dup := m.seen[h]; dup {
+			continue
+		}
+		m.seen[h] = round
+		out = append(out, msg)
+	}
+	for h, r := range m.seen {
+		if r+dedupWindow <= round {
+			delete(m.seen, h)
+		}
+	}
+	return out
+}
+
+// Ack confirms receipt of a round's mailbox contents with the owning
+// gateway so it can prune (and eventually compact) them. Best-effort:
+// losing an ack only means redelivery, which dedup absorbs.
+func (m *MultiClient) Ack(round uint64, mailbox []byte) (int, error) {
+	if i := m.ownerIdx(mailbox); i >= 0 {
+		return m.clients[i].Ack(round, mailbox)
+	}
+	total := 0
+	var lastErr error
+	ok := false
+	for _, c := range m.clients {
+		n, err := c.Ack(round, mailbox)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ok = true
+		total += n
+	}
+	if !ok {
+		return 0, lastErr
+	}
+	return total, nil
 }
 
 // Register records mailbox identifiers, routing each batch to the

@@ -76,6 +76,13 @@ func (s *Server) handle(method string, body []byte) ([]byte, error) {
 		msgs := s.network.FetchMailbox(fr.Round, fr.Mailbox)
 		return encode(FetchResponse{Messages: msgs})
 
+	case "ack":
+		var ar AckRequest
+		if err := decode(body, &ar); err != nil {
+			return nil, err
+		}
+		return encode(AckResponse{Pruned: s.network.AckMailbox(ar.Round, ar.Mailbox)})
+
 	case "status":
 		return encode(StatusResponse{
 			Round:       s.network.Round(),

@@ -46,6 +46,25 @@ func NewShardClient(lo, hi int, addr string, tlsCfg *tls.Config) (*ShardClient, 
 // Addr returns the shard process's address.
 func (s *ShardClient) Addr() string { return s.c.Addr() }
 
+// callRetried performs one exchange with a single retry after a
+// transport failure. The Client poisons its connection on such a
+// failure, so the retry dials fresh — which is how the coordinator
+// reattaches to a gateway that crashed and restarted between rounds
+// instead of declaring it dead for a round on the stale connection.
+// Only exchanges that are safe to re-ask go through here: begin,
+// batch, init, rebalance and abort are idempotent at the shard (a
+// re-begin in the worst case rebuilds the batches; a re-pulled batch
+// chunk is a read of cached state). shard.deliver must NOT be
+// retried: a chunk processed but unacknowledged would be buffered —
+// and delivered — twice.
+func (s *ShardClient) callRetried(method string, req, resp any) error {
+	err := s.c.call(method, req, resp)
+	if err != nil && IsTransportError(err) {
+		err = s.c.call(method, req, resp)
+	}
+	return err
+}
+
 // Close closes the underlying connection.
 func (s *ShardClient) Close() error { return s.c.Close() }
 
@@ -85,7 +104,7 @@ func (s *ShardClient) Init(n *core.Network) error {
 	req.Cur = paramsSliceToWire(cur, dead)
 	req.Next = paramsSliceToWire(next, dead)
 	var resp ShardInitResponse
-	if err := s.c.call("shard.init", req, &resp); err != nil {
+	if err := s.callRetried("shard.init", req, &resp); err != nil {
 		return fmt.Errorf("rpc: initialising shard %s at %s: %w", s.rng, s.c.Addr(), err)
 	}
 	return nil
@@ -107,7 +126,7 @@ func (s *ShardClient) BeginRound(br *core.BeginRound) (*core.ShardBuild, error) 
 		Dead:      br.Dead,
 	}
 	var resp ShardBeginResponse
-	if err := s.c.call("shard.begin", req, &resp); err != nil {
+	if err := s.callRetried("shard.begin", req, &resp); err != nil {
 		return nil, err
 	}
 	build := &core.ShardBuild{
@@ -121,7 +140,7 @@ func (s *ShardClient) BeginRound(br *core.BeginRound) (*core.ShardBuild, error) 
 		batch.Submitters = make([]string, 0, count)
 		for off := 0; off < count; off += shardChunk {
 			var chunk ShardBatchResponse
-			err := s.c.call("shard.batch", ShardBatchRequest{
+			err := s.callRetried("shard.batch", ShardBatchRequest{
 				Round: br.Round, Chain: chain, Offset: off, Max: shardChunk,
 			}, &chunk)
 			if err != nil {
@@ -148,7 +167,7 @@ func (s *ShardClient) BeginRound(br *core.BeginRound) (*core.ShardBuild, error) 
 
 // FinishRound implements core.GatewayShard: push the deliveries in
 // chunks, then commit the round.
-func (s *ShardClient) FinishRound(fr *core.FinishRound) (int, error) {
+func (s *ShardClient) FinishRound(fr *core.FinishRound) (core.FinishStats, error) {
 	for off := 0; off < len(fr.Delivered); off += shardChunk {
 		end := off + shardChunk
 		if end > len(fr.Delivered) {
@@ -159,7 +178,7 @@ func (s *ShardClient) FinishRound(fr *core.FinishRound) (int, error) {
 			Round: fr.Round, Msgs: fr.Delivered[off:end],
 		}, &resp)
 		if err != nil {
-			return 0, err
+			return core.FinishStats{}, err
 		}
 	}
 	dead := make(map[int]bool, len(fr.Dead))
@@ -178,9 +197,9 @@ func (s *ShardClient) FinishRound(fr *core.FinishRound) (int, error) {
 	}
 	var resp ShardFinishResponse
 	if err := s.c.call("shard.finish", req, &resp); err != nil {
-		return 0, err
+		return core.FinishStats{}, err
 	}
-	return resp.Delivered, nil
+	return core.FinishStats{Delivered: resp.Delivered, Dropped: resp.Dropped}, nil
 }
 
 // AbortRound implements core.GatewayShard. Best-effort: an
@@ -189,11 +208,11 @@ func (s *ShardClient) FinishRound(fr *core.FinishRound) (int, error) {
 // restarted shard is in.
 func (s *ShardClient) AbortRound(round uint64) {
 	var resp ack
-	_ = s.c.call("shard.abort", ShardAbortRequest{Round: round}, &resp)
+	_ = s.callRetried("shard.abort", ShardAbortRequest{Round: round}, &resp)
 }
 
 // Rebalance implements core.GatewayShard.
 func (s *ShardClient) Rebalance(epoch uint64, numChains int) error {
 	var resp ack
-	return s.c.call("shard.rebalance", ShardRebalanceRequest{Epoch: epoch, NumChains: numChains}, &resp)
+	return s.callRetried("shard.rebalance", ShardRebalanceRequest{Epoch: epoch, NumChains: numChains}, &resp)
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"crypto/tls"
 	"fmt"
 	"sync"
 
@@ -38,10 +39,24 @@ type ShardServer struct {
 }
 
 // NewShardServer starts a TLS listener on addr serving the given
-// gateway shard.
+// gateway shard, with a fresh ephemeral certificate.
 func NewShardServer(fe *core.Frontend, addr string) (*ShardServer, error) {
 	s := &ShardServer{fe: fe}
 	lc, err := newListenerCore(addr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.listenerCore = lc
+	return s, nil
+}
+
+// NewShardServerTLS is NewShardServer with a caller-supplied TLS
+// identity, so a durable shard restarted over its data directory
+// presents the certificate its coordinator and clients already pinned
+// (see LoadOrCreateTLSIdentity).
+func NewShardServerTLS(fe *core.Frontend, addr string, serverTLS, clientTLS *tls.Config) (*ShardServer, error) {
+	s := &ShardServer{fe: fe}
+	lc, err := newListenerCoreTLS(addr, serverTLS, clientTLS, s.handle)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +101,13 @@ func (s *ShardServer) handle(method string, body []byte) ([]byte, error) {
 		}
 		msgs := s.fe.FetchMailbox(fr.Round, fr.Mailbox)
 		return encode(FetchResponse{Messages: msgs})
+
+	case "ack":
+		var ar AckRequest
+		if err := decode(body, &ar); err != nil {
+			return nil, err
+		}
+		return encode(AckResponse{Pruned: s.fe.AckMailbox(ar.Round, ar.Mailbox)})
 
 	case "register":
 		var rr RegisterRequest
@@ -246,7 +268,7 @@ func (s *ShardServer) handle(method string, body []byte) ([]byte, error) {
 		s.buffered = nil
 		s.build = nil
 		s.mu.Unlock()
-		delivered, err := s.fe.FinishRound(&core.FinishRound{
+		stats, err := s.fe.FinishRound(&core.FinishRound{
 			Round:     fr.Round,
 			Delivered: msgs,
 			Removed:   fr.Removed,
@@ -260,7 +282,7 @@ func (s *ShardServer) handle(method string, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return encode(ShardFinishResponse{Delivered: delivered})
+		return encode(ShardFinishResponse{Delivered: stats.Delivered, Dropped: stats.Dropped})
 
 	case "shard.abort":
 		var ar ShardAbortRequest

@@ -94,9 +94,12 @@ type ShardFinishRequest struct {
 	Dead      []int
 }
 
-// ShardFinishResponse reports the number of messages stored.
+// ShardFinishResponse reports the number of messages stored and the
+// old messages evicted by the shard's mailbox depth cap. Dropped is
+// zero from pre-cap shard builds (gob leaves absent fields zero).
 type ShardFinishResponse struct {
 	Delivered int
+	Dropped   int
 }
 
 // ShardAbortRequest reopens the submission window for a failed round.

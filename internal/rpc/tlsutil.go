@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/big"
 	"net"
+	"os"
 	"time"
 )
 
@@ -36,6 +37,71 @@ func ClientTLSFromPEM(pemBytes []byte) (*tls.Config, error) {
 		return nil, errors.New("rpc: no certificates in PEM input")
 	}
 	return &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS13}, nil
+}
+
+// TLSIdentityPEM serialises an endpoint's whole TLS identity —
+// certificate and private key — so a durable process can present the
+// same pinned certificate across restarts. Peers pin certificates at
+// deployment time; a gateway that rose from its data directory with a
+// fresh key would be indistinguishable from an impostor and refused.
+func TLSIdentityPEM(serverTLS *tls.Config) ([]byte, error) {
+	certPEM, err := CertificatePEM(serverTLS)
+	if err != nil {
+		return nil, err
+	}
+	key, ok := serverTLS.Certificates[0].PrivateKey.(*ecdsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("rpc: unsupported TLS key type %T", serverTLS.Certificates[0].PrivateKey)
+	}
+	der, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: marshalling TLS key: %w", err)
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der})
+	return append(certPEM, keyPEM...), nil
+}
+
+// TLSIdentityFromPEM rebuilds the server and pinned-client configs
+// from a TLSIdentityPEM blob.
+func TLSIdentityFromPEM(pemBytes []byte) (server *tls.Config, client *tls.Config, err error) {
+	cert, err := tls.X509KeyPair(pemBytes, pemBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpc: parsing TLS identity: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpc: parsing TLS identity certificate: %w", err)
+	}
+	cert.Leaf = leaf
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	server = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS13}
+	client = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS13}
+	return server, client, nil
+}
+
+// LoadOrCreateTLSIdentity returns the identity stored at path,
+// generating (and persisting) a fresh self-signed one on first use.
+// This is how a durable gateway keeps the certificate its peers
+// pinned: the key lives next to the WAL it authenticates.
+func LoadOrCreateTLSIdentity(path string, hosts ...string) (server *tls.Config, client *tls.Config, err error) {
+	if pemBytes, rerr := os.ReadFile(path); rerr == nil {
+		return TLSIdentityFromPEM(pemBytes)
+	} else if !errors.Is(rerr, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("rpc: reading TLS identity: %w", rerr)
+	}
+	server, client, err = SelfSignedTLS(hosts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	pemBytes, err := TLSIdentityPEM(server)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.WriteFile(path, pemBytes, 0o600); err != nil {
+		return nil, nil, fmt.Errorf("rpc: writing TLS identity: %w", err)
+	}
+	return server, client, nil
 }
 
 // SelfSignedTLS generates an ephemeral self-signed certificate for

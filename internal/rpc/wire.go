@@ -79,6 +79,19 @@ type FetchResponse struct {
 	Messages [][]byte
 }
 
+// AckRequest confirms receipt of a round's mailbox contents so the
+// gateway can prune them (and, under a durable store, compact them
+// out at the next snapshot).
+type AckRequest struct {
+	Round   uint64
+	Mailbox []byte
+}
+
+// AckResponse reports how many messages the ack pruned.
+type AckResponse struct {
+	Pruned int
+}
+
 // StatusResponse describes the deployment as seen from one endpoint.
 type StatusResponse struct {
 	Round       uint64
