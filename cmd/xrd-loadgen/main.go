@@ -34,12 +34,14 @@
 package main
 
 import (
-	"crypto/rand"
+	"crypto/sha256"
 	"crypto/tls"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"os"
 	"runtime"
 	"sort"
@@ -52,6 +54,7 @@ import (
 	"repro/internal/mix"
 	"repro/internal/onion"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -65,6 +68,8 @@ func main() {
 		workers    = flag.Int("workers", 4*runtime.GOMAXPROCS(0), "concurrent submission connections")
 		sample     = flag.Int("sample", 64, "receivers to verify end to end after the round")
 		out        = flag.String("out", "", "write the benchjson report here (default stdout)")
+		seed       = flag.Int64("seed", 1, "workload seed: pairing, message bodies and the synthetic registered population are reproducible for a given seed (keys stay random)")
+		admin      = flag.String("admin", "", `comma-separated admin endpoints ("host:port,...") to scrape after the round, merging server-side phase timings into the report`)
 	)
 	flag.Parse()
 	if *active%2 != 0 {
@@ -101,10 +106,10 @@ func main() {
 	label := fmt.Sprintf("registered=%d,active=%d", *registered, *active)
 
 	// Phase 1: active users (real keys) + synthetic registered base.
-	fmt.Printf("xrd-loadgen: creating %d active users...\n", *active)
-	users := makeUsers(plan, *active)
+	fmt.Printf("xrd-loadgen: creating %d active users (seed %d)...\n", *active, *seed)
+	users := makeUsers(plan, *active, *seed)
 	regStart := time.Now()
-	count := registerAll(front, users, *registered-*active)
+	count := registerAll(front, users, *registered-*active, *seed)
 	regDur := time.Since(regStart)
 	fmt.Printf("xrd-loadgen: registered %d users in %s (%.0f users/s)\n",
 		count, regDur.Round(time.Millisecond), float64(count)/regDur.Seconds())
@@ -168,6 +173,10 @@ func main() {
 
 	verifySample(front, users, rep.Round, *sample)
 
+	if *admin != "" {
+		scrapeAdmin(report, *admin)
+	}
+
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -183,36 +192,58 @@ func main() {
 	fmt.Printf("xrd-loadgen: wrote %s\n", *out)
 }
 
-// makeUsers creates n client users arranged in conversation pairs
-// (2i <-> 2i+1), each with one queued message naming its index.
-func makeUsers(plan *chainsel.Plan, n int) []*client.User {
+// makeUsers creates n client users and arranges them into the
+// conversation pairing the seeded workload generator produces, each
+// direction with one queued message from the workload's bodies. The
+// pairing and bodies are reproducible for a given seed; the users'
+// cryptographic keys are not (client keygen draws from crypto/rand),
+// so a seed fixes the workload shape, not the wire bytes.
+func makeUsers(plan *chainsel.Plan, n int, seed int64) []*client.User {
+	w, err := trace.Generate(trace.Config{
+		NumUsers:       n,
+		PairedFraction: 1.0,
+		BodySize:       64,
+		Seed:           seed,
+	})
+	if err != nil {
+		log.Fatalf("generating workload: %v", err)
+	}
 	users := make([]*client.User, n)
 	par(len(users), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			users[i] = client.NewUser(nil, plan)
 		}
 	})
-	for i := 0; i < n; i += 2 {
-		a, b := users[i], users[i+1]
+	for i, p := range w.Pairs {
+		a, b := users[p[0]], users[p[1]]
 		if err := a.StartConversation(b.PublicKey()); err != nil {
 			log.Fatal(err)
 		}
 		if err := b.StartConversation(a.PublicKey()); err != nil {
 			log.Fatal(err)
 		}
-		if err := a.QueueMessage([]byte(fmt.Sprintf("load %d", i))); err != nil {
+		if err := a.QueueMessage(w.Bodies[i]); err != nil {
 			log.Fatal(err)
 		}
-		if err := b.QueueMessage([]byte(fmt.Sprintf("load %d", i+1))); err != nil {
+		if err := b.QueueMessage(w.Bodies[i]); err != nil {
 			log.Fatal(err)
 		}
 	}
 	return users
 }
 
+// syntheticRNG derives the deterministic stream the synthetic
+// registered population's mailbox identifiers are drawn from.
+func syntheticRNG(seed int64) *rand.ChaCha8 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	key := sha256.Sum256(buf[:])
+	return rand.NewChaCha8(key)
+}
+
 // registerAll registers every active user's mailbox plus `synthetic`
-// random identifiers, in chunks, and returns how many registered.
-func registerAll(front *rpc.MultiClient, users []*client.User, synthetic int) int {
+// seeded identifiers, in chunks, and returns how many registered.
+func registerAll(front *rpc.MultiClient, users []*client.User, synthetic int, seed int64) int {
 	const chunk = 50_000
 	total := 0
 	push := func(batch [][]byte) {
@@ -234,9 +265,10 @@ func registerAll(front *rpc.MultiClient, users []*client.User, synthetic int) in
 	if len(users) > 0 {
 		mbLen = len(users[0].Mailbox())
 	}
+	rng := syntheticRNG(seed)
 	for i := 0; i < synthetic; i++ {
 		mb := make([]byte, mbLen)
-		if _, err := rand.Read(mb); err != nil {
+		if _, err := rng.Read(mb); err != nil {
 			log.Fatal(err)
 		}
 		batch = append(batch, mb)

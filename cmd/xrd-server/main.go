@@ -68,6 +68,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/group"
 	"repro/internal/mix"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/store"
 )
@@ -94,6 +95,7 @@ func main() {
 		pipeline   = flag.Int("pipeline", 1, "round pipeline depth: 2 overlaps the next round's build with the current mix (coordinator role)")
 		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "delay,target=srv1,delay=2s,after=3;drop,target=srv2" (see internal/faults)`)
 		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for -faults probability coins")
+		adminAddr  = flag.String("admin-addr", "", "plain-HTTP admin listen address serving /metrics, /healthz and /debug/pprof (empty = disabled; bind to loopback or a management network)")
 	)
 	flag.Parse()
 
@@ -125,23 +127,47 @@ func main() {
 			recover:     *recoverOn || *mixServers != "",
 			pipeline:    *pipeline,
 			inj:         inj,
+			adminAddr:   *adminAddr,
 		})
 	case "gateway":
-		runGatewayShard(*addr, *certOut, *shardRange, *dataDir, *boxes, *workers)
+		runGatewayShard(*addr, *certOut, *shardRange, *dataDir, *adminAddr, *boxes, *workers)
 	case "mix":
-		runMix(*addr, *certOut, inj)
+		runMix(*addr, *certOut, *adminAddr, inj)
 	default:
 		log.Fatalf("unknown role %q (want coordinator, gateway or mix)", *role)
 	}
 }
 
+// startAdmin starts the observability endpoint when -admin-addr is
+// set; it returns a closer (a no-op when disabled).
+func startAdmin(addr, role string, health func() obs.Health) func() {
+	if addr == "" {
+		return func() {}
+	}
+	as, err := obs.ServeAdmin(addr, obs.AdminConfig{Health: health})
+	if err != nil {
+		log.Fatalf("starting admin endpoint: %v", err)
+	}
+	fmt.Printf("xrd-server[%s]: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", role, as.Addr())
+	return func() { as.Close() }
+}
+
 // runMix hosts one chain position behind the hop transport and waits.
-func runMix(addr, certOut string, inj *faults.Injector) {
+func runMix(addr, certOut, adminAddr string, inj *faults.Injector) {
 	hs, err := rpc.NewHopServer(addr, nil)
 	if err != nil {
 		log.Fatalf("starting hop endpoint: %v", err)
 	}
 	defer hs.Close()
+	closeAdmin := startAdmin(adminAddr, "mix", func() obs.Health {
+		bound, epoch, chain, index, round := hs.HealthInfo()
+		h := obs.Health{Role: "mix", Epoch: epoch, Round: round}
+		if bound {
+			h.Chain, h.Position = chain, index
+		}
+		return h
+	})
+	defer closeAdmin()
 	if inj != nil {
 		hs.SetConnWrapper(inj.Wrapper("accept@" + addr))
 	}
@@ -162,7 +188,7 @@ func runMix(addr, certOut string, inj *faults.Injector) {
 // restarted over the same directory replays to its pre-crash
 // watermark and resumes serving (the coordinator re-adopts it through
 // the ordinary rebalance path).
-func runGatewayShard(addr, certOut, shardRange, dataDir string, boxes, workers int) {
+func runGatewayShard(addr, certOut, shardRange, dataDir, adminAddr string, boxes, workers int) {
 	lo, hi, err := parseIntPair(shardRange, "lo:hi")
 	if err != nil {
 		log.Fatalf("parsing -shard-range: %v", err)
@@ -197,6 +223,18 @@ func runGatewayShard(addr, certOut, shardRange, dataDir string, boxes, workers i
 	if err != nil {
 		log.Fatalf("building gateway shard: %v", err)
 	}
+	closeAdmin := startAdmin(adminAddr, "gateway", func() obs.Health {
+		rng := fe.Range()
+		return obs.Health{
+			Role:    "gateway",
+			Epoch:   fe.Epoch(),
+			Round:   fe.Round(),
+			ShardLo: rng.Lo,
+			ShardHi: rng.Hi,
+			Users:   fe.NumUsers(),
+		}
+	})
+	defer closeAdmin()
 	var ss *rpc.ShardServer
 	if serverTLS != nil {
 		ss, err = rpc.NewShardServerTLS(fe, addr, serverTLS, clientTLS)
@@ -236,6 +274,7 @@ type coordinatorOpts struct {
 	recover         bool
 	pipeline        int
 	inj             *faults.Injector
+	adminAddr       string
 }
 
 // runCoordinator assembles the deployment (dialing remote gateways
@@ -342,6 +381,16 @@ func runCoordinator(o coordinatorOpts) {
 	if err != nil {
 		log.Fatalf("assembling network: %v", err)
 	}
+	closeAdmin := startAdmin(o.adminAddr, "coordinator", func() obs.Health {
+		return obs.Health{
+			Role:   "coordinator",
+			Epoch:  net.Epoch(),
+			Round:  net.Round(),
+			Users:  net.NumUsers(),
+			Chains: net.NumChains(),
+		}
+	})
+	defer closeAdmin()
 	for key := range remotes {
 		if !used[key] {
 			log.Fatalf("-hops entry %d:%d matches no chain position of this topology", key[0], key[1])

@@ -18,6 +18,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/mix"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		workers   = flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS)")
 		pipeline  = flag.Int("pipeline", 1, "round pipeline depth: 2 overlaps the next round's build with the current mix")
+		adminAddr = flag.String("admin-addr", "", "plain-HTTP admin listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,22 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("assembling network: %v", err)
+	}
+	if *adminAddr != "" {
+		as, err := obs.ServeAdmin(*adminAddr, obs.AdminConfig{Health: func() obs.Health {
+			return obs.Health{
+				Role:   "sim",
+				Epoch:  net.Epoch(),
+				Round:  net.Round(),
+				Users:  net.NumUsers(),
+				Chains: net.NumChains(),
+			}
+		}})
+		if err != nil {
+			log.Fatalf("starting admin endpoint: %v", err)
+		}
+		defer as.Close()
+		fmt.Printf("xrd-sim: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", as.Addr())
 	}
 	w, err := trace.Generate(trace.Config{
 		NumUsers:       *users,

@@ -46,6 +46,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/aead"
 	"repro/internal/chainsel"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/group"
 	"repro/internal/mix"
+	"repro/internal/obs"
 	"repro/internal/onion"
 	"repro/internal/topology"
 )
@@ -757,6 +759,10 @@ type preparedRound struct {
 	// preparation, so a discarded preparation can return them to the
 	// queue.
 	injected map[int][]onion.Submission
+	// trace is the round's span tree, started at preparation so a
+	// pipelined prebuild's announce/build phases land in the round
+	// they belong to. Discarded preparations drop it unfinished.
+	trace *obs.RoundTrace
 }
 
 // dropSubmitters filters every batch entry whose submitter is in the
@@ -870,6 +876,7 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 		dead:       make(map[int]bool),
 		deadShards: make(map[int]bool),
 		injected:   injected,
+		trace:      obs.DefaultTracer.StartRound(rho, epoch),
 	}
 
 	// Re-announce the rounds this execution needs. BeginRound is
@@ -892,8 +899,10 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 			n.attributeHopError(topo, err)
 		}
 	}
+	announcePhase := p.trace.StartPhase("announce")
 	noteDead(announceEach(chains, rho))
 	noteDead(announceEach(chains, rho+1))
+	announcePhase.End()
 
 	// Stage 1: build, distributed. Push the parameter snapshot to
 	// every gateway shard; each builds its users' onions over its
@@ -913,6 +922,7 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 		Next:      snap.next,
 		Dead:      snap.deadList(),
 	}
+	buildPhase := p.trace.StartPhase("build")
 	builds := make([]*ShardBuild, len(n.shards))
 	beginErrs := make([]error, len(n.shards))
 	var beginWG sync.WaitGroup
@@ -920,7 +930,9 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 		beginWG.Add(1)
 		go func(i int, sh GatewayShard) {
 			defer beginWG.Done()
+			child := buildPhase.StartChild("shard " + sh.Range().String())
 			builds[i], beginErrs[i] = sh.BeginRound(br)
+			child.End()
 		}(i, sh)
 	}
 	beginWG.Wait()
@@ -987,6 +999,7 @@ func (n *Network) prepareRound(rho uint64) (*preparedRound, error) {
 		}
 	}
 	p.batches = batches
+	buildPhase.End()
 	return p, nil
 }
 
@@ -1146,6 +1159,7 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		res *mix.RoundResult
 		err error
 	}
+	mixStart := time.Now()
 	outcomes := make([]chainOutcome, len(chains))
 	var wg sync.WaitGroup
 	for c := range chains {
@@ -1160,6 +1174,7 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		}(c)
 	}
 	wg.Wait()
+	mixWall := time.Since(mixStart)
 
 	// Stage 3: aggregate. Reports are folded serially (cheap); the
 	// deliveries and removal verdicts are then fanned back out to the
@@ -1168,6 +1183,35 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		if !failedChains[c] && !dead[c] && outcomes[c].err != nil {
 			abortShards()
 			return nil, fmt.Errorf("core: chain %d: %w", c, outcomes[c].err)
+		}
+	}
+
+	// Trace phase synthesis from the chains' own stage timings. The
+	// verify phase is the per-chain submission-proof stage, measured
+	// inside the parallel section, so its top-level duration is the
+	// max across chains (the wall-clock contribution); the mix phase
+	// is the whole parallel section's wall clock, with each chain's
+	// post-verification mixing as a child.
+	if p.trace != nil {
+		var maxVerify time.Duration
+		for c := range chains {
+			if failedChains[c] || dead[c] || outcomes[c].res == nil {
+				continue
+			}
+			if v := outcomes[c].res.VerifyDur; v > maxVerify {
+				maxVerify = v
+			}
+		}
+		vp := p.trace.AddPhase("verify", mixStart, maxVerify)
+		mp := p.trace.AddPhase("mix", mixStart, mixWall)
+		for c := range chains {
+			if failedChains[c] || dead[c] || outcomes[c].res == nil {
+				continue
+			}
+			res := outcomes[c].res
+			name := fmt.Sprintf("chain %d", c)
+			vp.AddChild(name, mixStart, res.VerifyDur)
+			mp.AddChild(name, mixStart.Add(res.VerifyDur), res.MixDur)
 		}
 	}
 	// stranded collects everyone whose traffic rode a chain that did
@@ -1239,6 +1283,7 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 	n.round = rho + 1
 	next := n.round + 1
 	n.mu.Unlock()
+	finishPhase := p.trace.StartPhase("finish")
 	trailing := announceEach(chains, next)
 	deadNext := make(map[int]bool, len(dead))
 	for c := range dead {
@@ -1257,11 +1302,13 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		// parameters rather than losing the deliveries.
 		finishSnap = &roundParams{rho: rho + 1}
 	}
+	finishPhase.End()
 
 	// Stage 4: deliver, distributed. Route every mixed mailbox
 	// message to the shard owning its recipient, the blame verdicts to
 	// the shard owning the convicted user, the stranded records
 	// likewise, and close the round everywhere in parallel.
+	deliverPhase := p.trace.StartPhase("deliver")
 	perShard := make([][][]byte, len(n.shards))
 	for c := range deliveries {
 		for _, msg := range deliveries[c] {
@@ -1295,6 +1342,8 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		finishWG.Add(1)
 		go func(i int, sh GatewayShard) {
 			defer finishWG.Done()
+			child := deliverPhase.StartChild("shard " + sh.Range().String())
+			defer child.End()
 			statsPer[i], finishErrs[i] = sh.FinishRound(&FinishRound{
 				Round:     rho,
 				Delivered: perShard[i],
@@ -1323,6 +1372,9 @@ func (n *Network) executeRound(p *preparedRound) (*RoundReport, error) {
 		report.MailboxDropped += statsPer[i].Dropped
 	}
 	sort.Ints(report.DeadShards)
+	deliverPhase.End()
+	recordRoundReport(report)
+	p.trace.Finish()
 
 	for _, e := range trailing {
 		if e != nil {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aead"
 	"repro/internal/chainsel"
@@ -411,6 +412,7 @@ func (f *Frontend) StrandedError(round uint64, mailboxID []byte) error {
 // folds collected external traffic into the batches and closes the
 // round's submission window.
 func (f *Frontend) BeginRound(br *BeginRound) (*ShardBuild, error) {
+	defer func(t0 time.Time) { obsShardBuildSeconds.ObserveDuration(time.Since(t0)) }(time.Now())
 	f.mu.Lock()
 	if f.plan == nil || f.epoch != br.Epoch || f.plan.NumChains != br.NumChains {
 		// A shard that missed (or predates) the epoch broadcast adopts
@@ -464,6 +466,7 @@ func (f *Frontend) BeginRound(br *BeginRound) (*ShardBuild, error) {
 // synced together, so a crash either shows the round fully finished
 // or not finished at all — never half.
 func (f *Frontend) FinishRound(fr *FinishRound) (FinishStats, error) {
+	defer func(t0 time.Time) { obsShardFinishSeconds.ObserveDuration(time.Since(t0)) }(time.Now())
 	delivered, _, dropped := f.boxes.Deliver(fr.Round, fr.Delivered)
 	for _, who := range fr.Removed {
 		f.reg.markRemoved(who)

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// Coordinator- and gateway-side observability. All metrics live in
+// the process-wide obs.Default registry; which subset is non-zero
+// depends on the role the process runs (a coordinator executes
+// rounds, a gateway shard builds and finishes them). Counters are
+// created once here and recorded with atomic adds only — nothing on
+// the round path locks or allocates for metrics.
+var (
+	// Round outcome counters, folded from each executed round's
+	// RoundReport (see recordRoundReport). Names mirror the report
+	// fields the paper's evaluation cares about.
+	obsRounds         = obs.GetOrCreateCounter("xrd_rounds_total")
+	obsDelivered      = obs.GetOrCreateCounter("xrd_round_delivered_total")
+	obsDroppedInner   = obs.GetOrCreateCounter("xrd_round_dropped_inner_total")
+	obsMailboxDropped = obs.GetOrCreateCounter("xrd_round_mailbox_dropped_total")
+	obsDeduped        = obs.GetOrCreateCounter("xrd_round_deduped_submissions_total")
+	obsLostDeliveries = obs.GetOrCreateCounter("xrd_round_lost_deliveries_total")
+	obsStranded       = obs.GetOrCreateCounter("xrd_round_stranded_total")
+	obsHaltedChains   = obs.GetOrCreateCounter("xrd_round_halted_chains_total")
+	obsBlameRounds    = obs.GetOrCreateCounter("xrd_round_blame_rounds_total")
+	obsOfflineCovered = obs.GetOrCreateCounter("xrd_round_offline_covered_total")
+
+	// Gateway-shard build/finish timings — the distributed halves of
+	// the round a coordinator-side trace cannot see from inside a
+	// remote gateway process.
+	obsShardBuildSeconds  = obs.GetOrCreateHistogram("xrd_shard_build_seconds")
+	obsShardFinishSeconds = obs.GetOrCreateHistogram("xrd_shard_finish_seconds")
+)
+
+// recordRoundReport folds one executed round's report into the
+// counters. Called once per completed round on the coordinator, after
+// the report is final.
+func recordRoundReport(rep *RoundReport) {
+	obsRounds.Inc()
+	obsDelivered.Add(uint64(rep.Delivered))
+	obsDroppedInner.Add(uint64(rep.DroppedInner))
+	obsMailboxDropped.Add(uint64(rep.MailboxDropped))
+	obsDeduped.Add(uint64(rep.DedupedSubmissions))
+	obsLostDeliveries.Add(uint64(rep.LostDeliveries))
+	obsStranded.Add(uint64(len(rep.Stranded)))
+	obsHaltedChains.Add(uint64(len(rep.HaltedChains)))
+	obsBlameRounds.Add(uint64(rep.BlameRounds))
+	obsOfflineCovered.Add(uint64(rep.OfflineCovered))
+}

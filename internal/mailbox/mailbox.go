@@ -19,7 +19,19 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/onion"
+)
+
+// Process-wide mailbox metrics: the gauge tracks messages currently
+// retained across every Server in the process (the gateway role's
+// mailbox depth at a glance); the counters the flows that change it.
+var (
+	obsStored      = obs.GetOrCreateGauge("xrd_mailbox_messages")
+	obsDeliveredIn = obs.GetOrCreateCounter("xrd_mailbox_put_total")
+	obsDropped     = obs.GetOrCreateCounter("xrd_mailbox_dropped_total")
+	obsAcked       = obs.GetOrCreateCounter("xrd_mailbox_acked_total")
+	obsPruned      = obs.GetOrCreateCounter("xrd_mailbox_pruned_total")
 )
 
 // Server is a single mailbox server holding per-round message
@@ -89,6 +101,11 @@ func (s *Server) PutBatch(round uint64, items []Delivery) (dropped int) {
 			dropped++
 		}
 	}
+	obsDeliveredIn.Add(uint64(len(items)))
+	obsStored.Add(int64(len(items) - dropped))
+	if dropped > 0 {
+		obsDropped.Add(uint64(dropped))
+	}
 	return dropped
 }
 
@@ -138,6 +155,8 @@ func (s *Server) Ack(round uint64, mailbox []byte) int {
 	if s.depth[mb] <= 0 {
 		delete(s.depth, mb)
 	}
+	obsAcked.Add(uint64(n))
+	obsStored.Add(int64(-n))
 	return n
 }
 
@@ -171,9 +190,11 @@ func (s *Server) CountForRound(round uint64) int {
 func (s *Server) PruneBefore(round uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pruned := 0
 	for r, rb := range s.boxes {
 		if r < round {
 			for mb, msgs := range rb {
+				pruned += len(msgs)
 				s.depth[mb] -= len(msgs)
 				if s.depth[mb] <= 0 {
 					delete(s.depth, mb)
@@ -181,6 +202,10 @@ func (s *Server) PruneBefore(round uint64) {
 			}
 			delete(s.boxes, r)
 		}
+	}
+	if pruned > 0 {
+		obsPruned.Add(uint64(pruned))
+		obsStored.Add(int64(-pruned))
 	}
 }
 

@@ -5,11 +5,22 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"time"
 
 	"repro/internal/aead"
 	"repro/internal/group"
 	"repro/internal/nizk"
+	"repro/internal/obs"
 	"repro/internal/onion"
+)
+
+// Per-chain stage timings, observed by every RunRound regardless of
+// outcome. The coordinator's round trace consumes the same numbers
+// through RoundResult; these histograms make them scrapeable from
+// whichever process hosts the chain orchestration.
+var (
+	obsChainVerifySeconds = obs.GetOrCreateHistogram("xrd_chain_verify_seconds")
+	obsChainMixSeconds    = obs.GetOrCreateHistogram("xrd_chain_mix_seconds")
 )
 
 func newDigest() hash.Hash { return sha256.New() }
@@ -251,6 +262,12 @@ type RoundResult struct {
 	DroppedInner int
 	// BlameRounds counts how many blame protocol executions ran.
 	BlameRounds int
+	// VerifyDur and MixDur are the round's stage timings for
+	// observability: the submission-proof/input-agreement stage and
+	// everything after it (mixing steps, reveal, inner decryption).
+	// Zero when the stage never ran.
+	VerifyDur time.Duration
+	MixDur    time.Duration
 }
 
 // roundState tracks the working set between mixing steps.
@@ -305,6 +322,7 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 	}
 	nonce := aead.RoundNonce(round, lane)
 	res := &RoundResult{}
+	verifyStart := time.Now()
 
 	// Submission proof checks (§6.2): an invalid PoK identifies its
 	// sender immediately. Proofs are verified in parallel batches
@@ -341,6 +359,13 @@ func (c *Chain) RunRound(round uint64, lane byte, subs []onion.Submission) (*Rou
 			return nil, fmt.Errorf("mix: chain %d: input agreement failed", c.ID)
 		}
 	}
+	res.VerifyDur = time.Since(verifyStart)
+	obsChainVerifySeconds.ObserveDuration(res.VerifyDur)
+	mixStart := time.Now()
+	defer func() {
+		res.MixDur = time.Since(mixStart)
+		obsChainMixSeconds.ObserveDuration(res.MixDur)
+	}()
 
 	if len(st.envs) == 0 {
 		// Nothing to mix; an empty product cannot be certified (the

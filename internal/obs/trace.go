@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records one trace per round: a small tree of timed spans —
+// top-level phases (announce/build/verify/mix/deliver/finish) with
+// per-chain and per-shard children — kept in a bounded ring of
+// recent rounds for the admin server's /debug/rounds endpoint.
+// Finishing a trace also feeds each phase duration into
+// xrd_round_phase_seconds{phase=...} and the whole round into
+// xrd_round_seconds, so scrape-side consumers (the loadgen report
+// merge, the cost model) get aggregates without parsing traces.
+//
+// Tracing is per-phase, not per-event: a round produces tens of
+// spans, so span bookkeeping takes a plain mutex on the round's
+// trace and is nowhere near any hot path. Every method is nil-safe
+// on its receiver, so code instruments unconditionally and a nil
+// tracer (or a trace that was never started) costs one branch.
+type Tracer struct {
+	reg  *Registry
+	keep int
+
+	mu        sync.Mutex
+	ring      []*RoundTrace // oldest first
+	phaseHist map[string]*Histogram
+	roundHist *Histogram
+}
+
+// NewTracer returns a tracer recording into reg and keeping the last
+// keep round traces.
+func NewTracer(reg *Registry, keep int) *Tracer {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Tracer{reg: reg, keep: keep, phaseHist: make(map[string]*Histogram)}
+}
+
+// DefaultTracer records into the Default registry. Like the
+// registry, one process is one role, so a process-global tracer
+// matches the per-process admin endpoint.
+var DefaultTracer = NewTracer(Default, 32)
+
+// RoundTrace is one round's span tree, alive from StartRound to
+// Finish. Methods are safe for concurrent use (chain goroutines add
+// children concurrently) and nil-safe.
+type RoundTrace struct {
+	t     *Tracer
+	round uint64
+	epoch uint64
+	start time.Time
+
+	mu     sync.Mutex
+	phases []*Span
+	end    time.Time
+}
+
+// Span is one timed node in a round's trace tree.
+type Span struct {
+	rt       *RoundTrace
+	name     string
+	start    time.Time
+	end      time.Time // zero while open
+	children []*Span
+}
+
+// StartRound begins a new round trace. Safe on a nil tracer
+// (returns nil, and every downstream call no-ops).
+func (t *Tracer) StartRound(round, epoch uint64) *RoundTrace {
+	if t == nil {
+		return nil
+	}
+	return &RoundTrace{t: t, round: round, epoch: epoch, start: time.Now()}
+}
+
+// StartPhase opens a top-level phase span starting now.
+func (rt *RoundTrace) StartPhase(name string) *Span {
+	if rt == nil {
+		return nil
+	}
+	sp := &Span{rt: rt, name: name, start: time.Now()}
+	rt.mu.Lock()
+	rt.phases = append(rt.phases, sp)
+	rt.mu.Unlock()
+	return sp
+}
+
+// AddPhase records a pre-measured top-level phase — for phases whose
+// duration is derived rather than wall-clocked in place (the verify
+// phase is the per-chain verification stage measured inside the mix
+// section).
+func (rt *RoundTrace) AddPhase(name string, start time.Time, d time.Duration) *Span {
+	if rt == nil {
+		return nil
+	}
+	sp := &Span{rt: rt, name: name, start: start, end: start.Add(d)}
+	rt.mu.Lock()
+	rt.phases = append(rt.phases, sp)
+	rt.mu.Unlock()
+	return sp
+}
+
+// StartChild opens a child span under sp starting now. Safe to call
+// concurrently from multiple goroutines on the same parent.
+func (sp *Span) StartChild(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{rt: sp.rt, name: name, start: time.Now()}
+	sp.rt.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.rt.mu.Unlock()
+	return c
+}
+
+// AddChild records a pre-measured child span under sp.
+func (sp *Span) AddChild(name string, start time.Time, d time.Duration) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{rt: sp.rt, name: name, start: start, end: start.Add(d)}
+	sp.rt.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.rt.mu.Unlock()
+	return c
+}
+
+// End closes the span now (idempotent).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.rt.mu.Lock()
+	if sp.end.IsZero() {
+		sp.end = time.Now()
+	}
+	sp.rt.mu.Unlock()
+}
+
+// Finish closes the trace: any still-open span ends now, the trace
+// enters the tracer's recent-rounds ring, and each top-level phase
+// duration is observed into the tracer's registry.
+func (rt *RoundTrace) Finish() {
+	if rt == nil {
+		return
+	}
+	now := time.Now()
+	rt.mu.Lock()
+	rt.end = now
+	var closeAll func(spans []*Span)
+	closeAll = func(spans []*Span) {
+		for _, sp := range spans {
+			if sp.end.IsZero() {
+				sp.end = now
+			}
+			closeAll(sp.children)
+		}
+	}
+	closeAll(rt.phases)
+	phases := make([]*Span, len(rt.phases))
+	copy(phases, rt.phases)
+	rt.mu.Unlock()
+
+	t := rt.t
+	t.mu.Lock()
+	t.ring = append(t.ring, rt)
+	if len(t.ring) > t.keep {
+		t.ring = t.ring[len(t.ring)-t.keep:]
+	}
+	if t.roundHist == nil && t.reg != nil {
+		t.roundHist = t.reg.Histogram("xrd_round_seconds")
+	}
+	roundHist := t.roundHist
+	hists := make([]*Histogram, len(phases))
+	if t.reg != nil {
+		for i, sp := range phases {
+			h, ok := t.phaseHist[sp.name]
+			if !ok {
+				h = t.reg.Histogram(`xrd_round_phase_seconds{phase="` + sp.name + `"}`)
+				t.phaseHist[sp.name] = h
+			}
+			hists[i] = h
+		}
+	}
+	t.mu.Unlock()
+
+	if roundHist != nil {
+		roundHist.ObserveDuration(now.Sub(rt.start))
+	}
+	for i, sp := range phases {
+		if hists[i] != nil {
+			hists[i].ObserveDuration(sp.end.Sub(sp.start))
+		}
+	}
+}
+
+// TraceSnapshot is the JSON shape of one finished round trace.
+type TraceSnapshot struct {
+	Round      uint64         `json:"round"`
+	Epoch      uint64         `json:"epoch"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Phases     []SpanSnapshot `json:"phases"`
+}
+
+// SpanSnapshot is one span in a TraceSnapshot; offsets are relative
+// to the trace start.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	OffsetMS   float64        `json:"offset_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Recent returns snapshots of the retained round traces, newest
+// first.
+func (t *Tracer) Recent() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ring := make([]*RoundTrace, len(t.ring))
+	copy(ring, t.ring)
+	t.mu.Unlock()
+
+	out := make([]TraceSnapshot, 0, len(ring))
+	for i := len(ring) - 1; i >= 0; i-- {
+		out = append(out, ring[i].snapshot())
+	}
+	return out
+}
+
+func (rt *RoundTrace) snapshot() TraceSnapshot {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	snap := TraceSnapshot{
+		Round:      rt.round,
+		Epoch:      rt.epoch,
+		Start:      rt.start,
+		DurationMS: rt.end.Sub(rt.start).Seconds() * 1e3,
+	}
+	var walk func(spans []*Span) []SpanSnapshot
+	walk = func(spans []*Span) []SpanSnapshot {
+		if len(spans) == 0 {
+			return nil
+		}
+		out := make([]SpanSnapshot, 0, len(spans))
+		for _, sp := range spans {
+			out = append(out, SpanSnapshot{
+				Name:       sp.name,
+				OffsetMS:   sp.start.Sub(rt.start).Seconds() * 1e3,
+				DurationMS: sp.end.Sub(sp.start).Seconds() * 1e3,
+				Children:   walk(sp.children),
+			})
+		}
+		return out
+	}
+	snap.Phases = walk(rt.phases)
+	return snap
+}

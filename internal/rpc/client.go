@@ -134,12 +134,15 @@ func (c *Client) call(method string, reqBody any, respBody any) error {
 	// server's idle deadline (see the hop pool's identical rule);
 	// reusing it would fail the call spuriously. Redial instead.
 	if c.conn != nil && time.Since(c.lastUse) > maxConnIdle {
+		obsClientIdleRedials.Inc()
 		c.conn.Close()
 		c.conn = nil
 	}
 	if c.conn == nil {
+		obsClientDials.Inc()
 		conn, err := tls.Dial("tcp", c.addr, c.tlsCfg)
 		if err != nil {
+			obsClientTransportErrors.Inc()
 			return &TransportError{Op: "dialing " + c.addr, Err: err}
 		}
 		c.conn = conn
@@ -156,11 +159,13 @@ func (c *Client) call(method string, reqBody any, respBody any) error {
 	}
 	if err := WriteFrame(c.conn, req); err != nil {
 		poison()
+		obsClientTransportErrors.Inc()
 		return &TransportError{Op: "sending " + method, Err: err}
 	}
 	frame, err := ReadFrame(c.conn)
 	if err != nil {
 		poison()
+		obsClientTransportErrors.Inc()
 		return &TransportError{Op: "reading " + method + " response", Err: err}
 	}
 	var resp response

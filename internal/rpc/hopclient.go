@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aead"
@@ -51,6 +52,11 @@ type HopClient struct {
 
 	pool *connPool
 
+	// metrics is the per-position metric set, installed by InitEpoch
+	// when the binding is known and swapped atomically on re-binding;
+	// nil until the first Init (nothing to label the calls with yet).
+	metrics atomic.Pointer[hopMetrics]
+
 	mu    sync.Mutex
 	ready bool
 	keys  mix.HopKeys
@@ -95,6 +101,7 @@ func (h *HopClient) Init(chain, index int, base group.Point) (mix.HopKeys, error
 // chains and re-initialises each surviving process in place, with
 // fresh keys at its new position.
 func (h *HopClient) InitEpoch(epoch uint64, chain, index int, base group.Point) (mix.HopKeys, error) {
+	h.metrics.Store(newHopMetrics(chain, index))
 	var w HopKeysResponse
 	req := HopInitRequest{Epoch: epoch, Chain: chain, Index: index, Base: base.Bytes()}
 	if err := h.call("hop.init", req, &w, h.CallTimeout); err != nil {
@@ -276,8 +283,12 @@ func (h *HopClient) call(method string, reqBody, respBody any, timeout time.Dura
 	if err != nil {
 		return err
 	}
+	m := h.metrics.Load()
 	conn, err := h.pool.get()
 	if err != nil {
+		if m != nil {
+			m.errors.Inc()
+		}
 		return fmt.Errorf("rpc: dialing hop for %s: %w", method, err)
 	}
 	healthy := false
@@ -288,15 +299,29 @@ func (h *HopClient) call(method string, reqBody, respBody any, timeout time.Dura
 			conn.Close()
 		}
 	}()
+	start := time.Now()
 	if timeout > 0 {
 		conn.SetDeadline(time.Now().Add(timeout))
 	}
 	if err := WriteFrame(conn, req); err != nil {
+		if m != nil {
+			m.errors.Inc()
+		}
 		return fmt.Errorf("rpc: sending %s: %w", method, err)
 	}
 	frame, err := ReadFrame(conn)
 	if err != nil {
+		if m != nil {
+			m.errors.Inc()
+		}
 		return fmt.Errorf("rpc: reading %s response: %w", method, err)
+	}
+	if m != nil {
+		m.bytesOut.Add(uint64(len(req)))
+		m.bytesIn.Add(uint64(len(frame)))
+		if lat := m.latency[method]; lat != nil {
+			lat.ObserveDuration(time.Since(start))
+		}
 	}
 	var resp response
 	if err := decode(frame, &resp); err != nil {
@@ -354,12 +379,16 @@ func (p *connPool) get() (net.Conn, error) {
 	}
 	wrap := p.wrap
 	p.mu.Unlock()
-	for _, c := range stale {
-		c.Close()
+	if len(stale) > 0 {
+		obsHopIdleReaps.Add(uint64(len(stale)))
+		for _, c := range stale {
+			c.Close()
+		}
 	}
 	if fresh != nil {
 		return fresh, nil
 	}
+	obsHopDials.Inc()
 	c, err := tls.Dial("tcp", p.addr, p.tlsCfg)
 	if err != nil {
 		return nil, err

@@ -39,6 +39,9 @@ type HopServer struct {
 	stage *hopStage
 	// mixed is the last mixing step's output awaiting pulls.
 	mixed *hopMixed
+	// lastRound is the highest round a hop.begin has been seen for,
+	// reported on the admin health endpoint as a liveness watermark.
+	lastRound uint64
 }
 
 type hopStage struct {
@@ -65,6 +68,18 @@ func NewHopServer(addr string, scheme aead.Scheme) (*HopServer, error) {
 	}
 	h.listenerCore = lc
 	return h, nil
+}
+
+// HealthInfo reports the hop's binding state for the admin health
+// endpoint: whether a coordinator has bound it yet, the epoch and
+// chain coordinate it serves, and the last round it began.
+func (h *HopServer) HealthInfo() (bound bool, epoch uint64, chain, index int, round uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.bound == nil {
+		return false, 0, 0, 0, h.lastRound
+	}
+	return true, h.bound.Epoch, h.bound.Chain, h.bound.Index, h.lastRound
 }
 
 // server returns the bound mix server or an error if hop.init has
@@ -116,6 +131,9 @@ func (h *HopServer) handle(method string, body []byte) ([]byte, error) {
 		srv, err := h.server()
 		if err != nil {
 			return nil, err
+		}
+		if req.Round > h.lastRound {
+			h.lastRound = req.Round
 		}
 		ipk, proof := srv.BeginRound(req.Round)
 		return encode(HopBeginResponse{Ipk: ipk.Bytes(), Proof: proof.Bytes()})

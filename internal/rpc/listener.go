@@ -178,17 +178,23 @@ func (s *listenerCore) serveConn(conn net.Conn, idle, write time.Duration) {
 			}
 			return
 		}
+		obsServerRequests.Inc()
+		obsServerBytesIn.Add(uint64(len(frame)))
 		var req request
 		if err := decode(frame, &req); err != nil {
+			obsServerErrors.Inc()
 			s.Logf("rpc: bad request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+		handleStart := time.Now()
 		resp := s.dispatch(req)
+		obsServerHandleSeconds.ObserveDuration(time.Since(handleStart))
 		out, err := encode(resp)
 		if err != nil {
 			s.Logf("rpc: encoding response: %v", err)
 			return
 		}
+		obsServerBytesOut.Add(uint64(len(out)))
 		if write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(write))
 		}
@@ -201,6 +207,7 @@ func (s *listenerCore) serveConn(conn net.Conn, idle, write time.Duration) {
 func (s *listenerCore) dispatch(req request) response {
 	body, err := s.handle(req.Method, req.Body)
 	if err != nil {
+		obsServerErrors.Inc()
 		return response{Err: err.Error()}
 	}
 	return response{Body: body}

@@ -216,7 +216,10 @@ func (m *MultiClient) tryEach(preferred int, op func(*Client) error) error {
 	var lastErr error
 	for a := 0; a < m.Backoff.attempts(); a++ {
 		if a > 0 {
-			time.Sleep(m.Backoff.sleep(a))
+			obsRetryCycles.Inc()
+			d := m.Backoff.sleep(a)
+			obsBackoffSeconds.ObserveDuration(d)
+			time.Sleep(d)
 		}
 		for k := 0; k < len(m.clients); k++ {
 			c := m.clients[(preferred+k)%len(m.clients)]
@@ -225,6 +228,7 @@ func (m *MultiClient) tryEach(preferred int, op func(*Client) error) error {
 				return err
 			}
 			lastErr = err
+			obsFailovers.Inc()
 		}
 	}
 	return lastErr
@@ -279,7 +283,10 @@ func (m *MultiClient) Fetch(round uint64, mailbox []byte) ([][]byte, error) {
 		var err error
 		for a := 0; a < m.Backoff.attempts(); a++ {
 			if a > 0 {
-				time.Sleep(m.Backoff.sleep(a))
+				obsRetryCycles.Inc()
+				d := m.Backoff.sleep(a)
+				obsBackoffSeconds.ObserveDuration(d)
+				time.Sleep(d)
 			}
 			msgs, err = c.Fetch(round, mailbox)
 			if err == nil || !retriable(err) {

@@ -60,6 +60,7 @@ func (s *ShardClient) Addr() string { return s.c.Addr() }
 func (s *ShardClient) callRetried(method string, req, resp any) error {
 	err := s.c.call(method, req, resp)
 	if err != nil && IsTransportError(err) {
+		obsShardRetries.Inc()
 		err = s.c.call(method, req, resp)
 	}
 	return err

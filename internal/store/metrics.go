@@ -1,0 +1,19 @@
+package store
+
+import (
+	"repro/internal/obs"
+)
+
+// Durable-store metrics, process-wide: a gateway process runs one
+// Durable, so the package-level gauge is that store's state. The
+// fsync histogram is the one that matters operationally — every
+// round commit pays at least one fsync, so its tail is a floor on
+// round latency for a durable deployment.
+var (
+	obsWalAppends      = obs.GetOrCreateCounter("xrd_wal_appends_total")
+	obsWalBytes        = obs.GetOrCreateCounter("xrd_wal_bytes_total")
+	obsWalFsyncSeconds = obs.GetOrCreateHistogram("xrd_wal_fsync_seconds")
+	obsWalSegments     = obs.GetOrCreateGauge("xrd_wal_segments")
+	obsSnapshotSeconds = obs.GetOrCreateHistogram("xrd_store_snapshot_seconds")
+	obsSnapshotBytes   = obs.GetOrCreateGauge("xrd_store_snapshot_bytes")
+)

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // WAL segment format. A segment file is the 8-byte magic followed by
@@ -171,6 +172,11 @@ func Open(dir string, opts Options) (*Durable, *Recovered, error) {
 	if err := d.openSegment(); err != nil {
 		return nil, nil, err
 	}
+	live := rec.Segments
+	if live == 0 {
+		live = 1
+	}
+	obsWalSegments.Set(int64(live))
 	return d, rec, nil
 }
 
@@ -227,20 +233,28 @@ func (d *Durable) Append(op Op, payload []byte) error {
 		return fmt.Errorf("store: appending: %w", err)
 	}
 	d.size += int64(len(frame))
+	obsWalAppends.Inc()
+	obsWalBytes.Add(uint64(len(frame)))
 	return nil
 }
 
 // rollLocked fsyncs and closes the current segment and starts the
 // next. Callers hold d.mu.
 func (d *Durable) rollLocked() error {
+	t0 := time.Now()
 	if err := d.f.Sync(); err != nil {
 		return fmt.Errorf("store: syncing rolled segment: %w", err)
 	}
+	obsWalFsyncSeconds.ObserveDuration(time.Since(t0))
 	if err := d.f.Close(); err != nil {
 		return fmt.Errorf("store: closing rolled segment: %w", err)
 	}
 	d.seq++
-	return d.openSegment()
+	if err := d.openSegment(); err != nil {
+		return err
+	}
+	obsWalSegments.Add(1)
+	return nil
 }
 
 // Sync implements Store.
@@ -250,9 +264,11 @@ func (d *Durable) Sync() error {
 	if d.closed {
 		return errors.New("store: closed")
 	}
+	t0 := time.Now()
 	if err := d.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
+	obsWalFsyncSeconds.ObserveDuration(time.Since(t0))
 	return nil
 }
 
@@ -268,6 +284,7 @@ func (d *Durable) Snapshot(state []byte) error {
 	if d.closed {
 		return errors.New("store: closed")
 	}
+	t0 := time.Now()
 	oldSeq := d.seq
 	if err := d.rollLocked(); err != nil {
 		return err
@@ -287,6 +304,9 @@ func (d *Durable) Snapshot(state []byte) error {
 		}
 	}
 	removeOtherSnapshots(d.dir, d.seq)
+	obsSnapshotSeconds.ObserveDuration(time.Since(t0))
+	obsSnapshotBytes.Set(int64(len(state)))
+	obsWalSegments.Set(1)
 	return nil
 }
 

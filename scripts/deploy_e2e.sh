@@ -14,6 +14,12 @@
 # coordinator round protocol (begin/batch/deliver/finish), the hop
 # transport, and cross-shard delivery routing. If any of those
 # regress, the conversation dies and this script exits non-zero.
+#
+# Every process also gets an -admin-addr; the script asserts /healthz
+# answers on all six and, after the rounds, that the coordinator's
+# /metrics carries the round-phase histograms. Set METRICS_OUT to a
+# directory to keep the post-round /metrics dumps (CI archives them
+# as a workflow artifact).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,7 +57,8 @@ echo "== launching 3 mix processes"
 hops=""
 for i in 0 1 2; do
     port=$((7911 + i))
-    ./xrd-server -role mix -addr "127.0.0.1:$port" -cert-out "mix$i.pem" >"mix$i.log" 2>&1 &
+    ./xrd-server -role mix -addr "127.0.0.1:$port" -cert-out "mix$i.pem" \
+        -admin-addr "127.0.0.1:$((7933 + i))" >"mix$i.log" 2>&1 &
     pids+=($!)
     hops="${hops:+$hops,}0:$i=127.0.0.1:$port=mix$i.pem"
 done
@@ -60,9 +67,11 @@ for i in 0 1 2; do
 done
 
 echo "== launching 2 gateway shards"
-./xrd-server -role gateway -addr 127.0.0.1:7921 -shard-range 0:32 -cert-out gw1.pem >gw1.log 2>&1 &
+./xrd-server -role gateway -addr 127.0.0.1:7921 -shard-range 0:32 -cert-out gw1.pem \
+    -admin-addr 127.0.0.1:7931 >gw1.log 2>&1 &
 pids+=($!)
-./xrd-server -role gateway -addr 127.0.0.1:7922 -shard-range 32:64 -cert-out gw2.pem >gw2.log 2>&1 &
+./xrd-server -role gateway -addr 127.0.0.1:7922 -shard-range 32:64 -cert-out gw2.pem \
+    -admin-addr 127.0.0.1:7932 >gw2.log 2>&1 &
 pids+=($!)
 wait_for_file gw1.pem
 wait_for_file gw2.pem
@@ -71,6 +80,7 @@ gateways="127.0.0.1:7921=gw1.pem,127.0.0.1:7922=gw2.pem"
 echo "== launching coordinator (1 chain of 3, all positions remote, 2 gateway shards)"
 ./xrd-server -role coordinator -addr 127.0.0.1:7910 -servers 3 -chains 1 -k 3 \
     -interval 0 -cert-out coord.pem -hops "$hops" \
+    -admin-addr 127.0.0.1:7930 \
     -gateways "0:32=127.0.0.1:7921=gw1.pem,32:64=127.0.0.1:7922=gw2.pem" >coord.log 2>&1 &
 pids+=($!)
 wait_for_file coord.pem
@@ -81,6 +91,39 @@ dump_logs() {
         echo "--- $f log ---" >&2; cat "$f.log" >&2
     done
 }
+
+# name=admin-port pairs for every process's observability endpoint.
+admin_endpoints="coord=7930 gw1=7931 gw2=7932 mix0=7933 mix1=7934 mix2=7935"
+
+fetch() {
+    local url=$1 tries=25 out
+    while true; do
+        if out=$(curl -fsS --max-time 5 "$url" 2>/dev/null); then
+            printf '%s' "$out"
+            return 0
+        fi
+        tries=$((tries - 1))
+        if [ "$tries" -le 0 ]; then
+            return 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "== asserting /healthz on all 6 admin endpoints"
+for ep in $admin_endpoints; do
+    name=${ep%=*} port=${ep#*=}
+    if ! health=$(fetch "http://127.0.0.1:$port/healthz"); then
+        echo "$name: /healthz on port $port did not answer" >&2
+        dump_logs
+        exit 1
+    fi
+    if ! grep -q '"role"' <<<"$health"; then
+        echo "$name: /healthz returned no role: $health" >&2
+        exit 1
+    fi
+    echo "$name: $(tr -d ' \n' <<<"$health")"
+done
 
 run_round() {
     local n=$1 msg="hello from round $1" out tries=25
@@ -117,4 +160,31 @@ run_round 1
 echo "== round 2"
 run_round 2
 
-echo "PASS: two cross-shard rounds delivered end to end across 6 processes"
+echo "== dumping post-round /metrics from all 6 processes"
+metrics_dir=${METRICS_OUT:-$workdir/metrics}
+mkdir -p "$metrics_dir"
+for ep in $admin_endpoints; do
+    name=${ep%=*} port=${ep#*=}
+    if ! fetch "http://127.0.0.1:$port/metrics" >"$metrics_dir/$name.metrics.txt"; then
+        echo "$name: /metrics on port $port did not answer" >&2
+        dump_logs
+        exit 1
+    fi
+    if ! [ -s "$metrics_dir/$name.metrics.txt" ]; then
+        echo "$name: /metrics dump is empty" >&2
+        exit 1
+    fi
+done
+if ! grep -q '^xrd_round_phase_seconds_bucket{' "$metrics_dir/coord.metrics.txt"; then
+    echo "coordinator /metrics has no round-phase histograms after two rounds" >&2
+    head -50 "$metrics_dir/coord.metrics.txt" >&2
+    exit 1
+fi
+rounds=$(grep '^xrd_rounds_total' "$metrics_dir/coord.metrics.txt" | awk '{print $2}')
+if [ "${rounds:-0}" -lt 2 ]; then
+    echo "coordinator xrd_rounds_total=$rounds after two rounds" >&2
+    exit 1
+fi
+echo "coordinator metrics: xrd_rounds_total=$rounds, round-phase histograms present"
+
+echo "PASS: two cross-shard rounds delivered end to end across 6 processes, /healthz and /metrics live on all"
